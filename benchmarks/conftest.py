@@ -1,0 +1,29 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper at a scaled
+workload size (the paper's Java-over-MySQL prototype ran thousands of
+transactions; a pure-Python reproduction uses smaller databases so the whole
+suite finishes in minutes).  Set ``REPRO_BENCH_SCALE=paper`` in the
+environment to run the paper-sized parameters instead — see EXPERIMENTS.md
+for which scale produced the recorded numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: "default" (scaled-down, minutes) or "paper" (the published sizes, hours).
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "default")
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    """The active benchmark scale ("default" or "paper")."""
+    return BENCH_SCALE
+
+
+def report(title: str, body: str) -> None:
+    """Print a result block so ``pytest -s`` shows the regenerated artifact."""
+    print(f"\n--- {title} ---\n{body}")

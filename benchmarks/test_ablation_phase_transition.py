@@ -1,0 +1,62 @@
+"""Ablation — the satisfiability phase transition (Section 6 discussion).
+
+The paper argues that resource-allocation satisfiability is easy while
+under-constrained, easy again when hopelessly over-constrained, and hard
+only near the critical constraints-to-variables ratio — and that a quantum
+database could detect the hard region and switch to aggressive grounding.
+This benchmark sweeps random 3-SAT through the critical ratio (≈ 4.27) and
+records DPLL effort and the satisfiable fraction, reproducing the
+easy-hard-easy pattern.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import BENCH_SCALE, report
+from repro.experiments.report import format_table
+from repro.solver.randomsat import CRITICAL_RATIO_3SAT, random_ksat
+from repro.solver.sat import DPLLSolver
+
+NUM_VARIABLES = 30 if BENCH_SCALE == "paper" else 18
+INSTANCES_PER_RATIO = 20 if BENCH_SCALE == "paper" else 8
+RATIOS = (1.0, 2.0, 3.0, CRITICAL_RATIO_3SAT, 5.5, 7.0)
+
+
+def sweep():
+    rng = random.Random(42)
+    rows = []
+    for ratio in RATIOS:
+        decisions = []
+        satisfiable = 0
+        for _ in range(INSTANCES_PER_RATIO):
+            cnf = random_ksat(NUM_VARIABLES, round(ratio * NUM_VARIABLES), rng=rng)
+            solver = DPLLSolver()
+            if solver.solve(cnf) is not None:
+                satisfiable += 1
+            decisions.append(solver.statistics.decisions)
+        rows.append(
+            (
+                ratio,
+                satisfiable / INSTANCES_PER_RATIO,
+                sum(decisions) / len(decisions),
+            )
+        )
+    return rows
+
+
+def test_phase_transition(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "Ablation: SAT phase transition",
+        format_table(["clause/var ratio", "SAT fraction", "mean DPLL decisions"], rows),
+    )
+    by_ratio = {round(ratio, 2): (sat, effort) for ratio, sat, effort in rows}
+    # Under-constrained instances are almost all satisfiable; heavily
+    # over-constrained ones almost never are.
+    assert by_ratio[1.0][0] >= 0.9
+    assert by_ratio[7.0][0] <= 0.2
+    # Search effort peaks around the critical ratio (easy-hard-easy).
+    critical_effort = by_ratio[round(CRITICAL_RATIO_3SAT, 2)][1]
+    assert critical_effort >= by_ratio[1.0][1]
+    assert critical_effort >= by_ratio[7.0][1] * 0.5

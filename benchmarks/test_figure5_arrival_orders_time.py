@@ -1,0 +1,58 @@
+"""Figure 5 — cumulative execution time per arrival order.
+
+Regenerates the Figure 5 series: one quantum-database run per arrival order
+plus the intelligent-social baseline under the Random order.  The
+pytest-benchmark numbers measure the end-to-end workload execution for each
+arrival order; the printed series is the cumulative-time data the paper
+plots.  Expected shape: Alternate ≈ IS, Random slightly above IS, In Order
+and Reverse Order substantially slower.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, report
+from repro.experiments.figure5 import default_parameters, paper_parameters
+from repro.experiments.report import downsample, format_series
+from repro.experiments.runner import run_is_entangled, run_quantum_entangled
+from repro.relational.planner import MYSQL_JOIN_LIMIT
+from repro.workloads.arrival_orders import ArrivalOrder
+from repro.workloads.entangled_workload import generate_workload
+
+SPEC = paper_parameters() if BENCH_SCALE == "paper" else default_parameters()
+
+
+@pytest.mark.parametrize("order", list(ArrivalOrder), ids=lambda o: o.value)
+def test_quantum_arrival_order(benchmark, order):
+    workload = generate_workload(SPEC, order, seed=0)
+
+    def run():
+        return run_quantum_entangled(workload, k=MYSQL_JOIN_LIMIT, label=order.value)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    series = downsample(result.cumulative_times(), points=10)
+    report(
+        f"Figure 5 [{order.value}]",
+        format_series(
+            f"{len(workload)} txns, total {result.total_time * 1000:.1f} ms, "
+            f"max pending {result.max_pending}",
+            [(i, v * 1000.0) for i, v in series],
+            precision=1,
+        ),
+    )
+    assert result.admitted == len(workload)
+
+
+def test_intelligent_social_random(benchmark):
+    workload = generate_workload(SPEC, ArrivalOrder.RANDOM, seed=0)
+
+    def run():
+        return run_is_entangled(workload, label="Random IS")
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "Figure 5 [Random IS]",
+        f"{len(workload)} txns, total {result.total_time * 1000:.1f} ms",
+    )
+    assert result.admitted == len(workload)

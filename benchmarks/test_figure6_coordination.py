@@ -1,0 +1,38 @@
+"""Figure 6 — percentage of coordination per arrival order.
+
+Regenerates the Figure 6 bars (QuantumDB vs Intelligent Social for the four
+arrival orders).  Expected shape: the quantum database achieves 100% for
+every order; IS matches it only under Alternate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, report
+from repro.experiments.figure6 import default_parameters, paper_parameters, run_figure6
+from repro.experiments.report import format_table
+from repro.relational.planner import MYSQL_JOIN_LIMIT
+from repro.workloads.arrival_orders import ArrivalOrder
+
+SPEC = paper_parameters() if BENCH_SCALE == "paper" else default_parameters()
+
+
+def test_figure6_coordination(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_figure6(SPEC, k=MYSQL_JOIN_LIMIT, seed=0), rounds=1, iterations=1
+    )
+    rows = result.rows()
+    report("Figure 6", format_table(["Arrival order", "QuantumDB %", "IS %"], rows, precision=1))
+
+    by_order = {order: (q, i) for (order, q, i) in rows}
+    # The quantum database reaches full coordination for every arrival order.
+    for order, (quantum_pct, _is_pct) in by_order.items():
+        assert quantum_pct == 100.0, order
+    # IS keeps up when partners arrive back to back, never beats the quantum
+    # database, and falls short on at least one deferral-heavy order.  (At
+    # the paper's 34-row size IS falls well short on every non-Alternate
+    # order; run with REPRO_BENCH_SCALE=paper to see the full gap.)
+    assert by_order[ArrivalOrder.ALTERNATE.value][1] == 100.0
+    for order, (quantum_pct, is_pct) in by_order.items():
+        assert is_pct <= quantum_pct, order

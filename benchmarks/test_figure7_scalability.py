@@ -1,0 +1,44 @@
+"""Figure 7 — scalability: total completion time vs. number of transactions.
+
+Regenerates the Figure 7 sweep (database size grows, Random arrival order,
+quantum database at several k values vs. the IS baseline).  Expected shape:
+total time grows roughly linearly in the number of transactions thanks to
+per-flight partitioning, and smaller k is cheaper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, report
+from repro.experiments.figure7 import (
+    default_parameters,
+    paper_parameters,
+    run_figure7,
+)
+from repro.experiments.report import format_table
+
+PARAMETERS = paper_parameters() if BENCH_SCALE == "paper" else default_parameters()
+
+
+def test_figure7_scalability(benchmark):
+    result = benchmark.pedantic(lambda: run_figure7(PARAMETERS), rounds=1, iterations=1)
+    labels = result.labels()
+    rows = []
+    for count, times in result.total_time_rows():
+        rows.append([count] + [times.get(label, float("nan")) for label in labels])
+    report("Figure 7", format_table(["#txns"] + [f"{l} (s)" for l in labels], rows))
+
+    # Linear-ish scalability: time per transaction does not explode as the
+    # database grows (allow generous slack for Python timing noise).
+    for label, points in result.series.items():
+        per_txn = [run.total_time / count for count, run in points]
+        assert per_txn[-1] < per_txn[0] * 5 + 0.05
+    # The quantum database with the smallest k is the cheapest quantum config.
+    ks = sorted(k for k in PARAMETERS.ks)
+    totals = {
+        label: sum(run.total_time for _c, run in points)
+        for label, points in result.series.items()
+    }
+    assert totals[f"k={ks[0]}"] <= totals[f"k={ks[-1]}"] * 1.5
+    assert totals["IS"] <= totals[f"k={ks[-1]}"]

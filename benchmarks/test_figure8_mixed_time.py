@@ -1,0 +1,30 @@
+"""Figure 8 — read vs. update time under mixed workloads.
+
+Regenerates the Figure 8 series: as the read percentage grows, the time
+spent answering reads grows and the time spent executing resource
+transactions shrinks.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SCALE, report
+from repro.experiments.figure8 import default_parameters, paper_parameters, run_figure8
+from repro.experiments.report import format_table
+
+PARAMETERS = paper_parameters() if BENCH_SCALE == "paper" else default_parameters()
+
+
+def test_figure8_mixed_time_split(benchmark):
+    result = benchmark.pedantic(lambda: run_figure8(PARAMETERS), rounds=1, iterations=1)
+    report(
+        "Figure 8",
+        format_table(["Read %", "k", "Update time (s)", "Read time (s)"], result.rows()),
+    )
+    percentages = sorted(PARAMETERS.read_percentages)
+    low, high = percentages[0], percentages[-1]
+    for k in PARAMETERS.ks:
+        low_run = result.runs[(k, low)]
+        high_run = result.runs[(k, high)]
+        # More reads → more read time and less resource-transaction time.
+        assert high_run.extra["read_time"] >= low_run.extra["read_time"]
+        assert high_run.extra["update_time"] <= low_run.extra["update_time"] * 1.5

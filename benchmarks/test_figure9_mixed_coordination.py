@@ -1,0 +1,29 @@
+"""Figure 9 — coordination percentage vs. read percentage.
+
+Regenerates the Figure 9 series: coordination decreases as the read fraction
+grows, because reads force pre-emptive grounding before partners arrive.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SCALE, report
+from repro.experiments.figure8 import default_parameters, paper_parameters
+from repro.experiments.figure9 import run_figure9
+from repro.experiments.report import format_table
+
+PARAMETERS = paper_parameters() if BENCH_SCALE == "paper" else default_parameters()
+
+
+def test_figure9_coordination_vs_reads(benchmark):
+    result = benchmark.pedantic(lambda: run_figure9(PARAMETERS), rounds=1, iterations=1)
+    report("Figure 9", format_table(["Read %", "k", "Coordination %"], result.rows(), precision=1))
+    percentages = sorted(PARAMETERS.read_percentages)
+    largest_k = max(PARAMETERS.ks)
+    series = result.series_for(largest_k)
+    # At 0% reads, the largest k coordinates (near) everything; a read-heavy
+    # workload forces pre-emptive grounding and visibly hurts coordination.
+    # (Small-k series are noisy at the scaled-down default sizes, so the
+    # monotone-decline check is asserted on the largest k only.)
+    assert series[0][0] == percentages[0] and series[0][1] >= 90.0
+    assert series[-1][1] <= series[0][1]
+    assert series[-1][1] < 100.0

@@ -1,0 +1,43 @@
+"""Table 1 — arrival orders and maximum pending transactions.
+
+Regenerates Table 1: for each arrival order, the analytic bound from the
+paper and the maximum number of simultaneously pending transactions measured
+when the workload runs through the quantum database.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SCALE, report
+from repro.experiments.report import format_table
+from repro.experiments.table1 import default_parameters, paper_parameters, run_table1
+from repro.workloads.arrival_orders import ArrivalOrder
+
+SPEC = paper_parameters() if BENCH_SCALE == "paper" else default_parameters()
+
+
+def test_table1_max_pending(benchmark):
+    rows = benchmark.pedantic(lambda: run_table1(SPEC), rounds=1, iterations=1)
+    report(
+        "Table 1",
+        format_table(
+            ["Order", "Paper bound", "Simulated max", "Measured max"],
+            [
+                (r.order.value, r.expected_bound, r.simulated_max_pending, r.measured_max_pending)
+                for r in rows
+            ],
+        ),
+    )
+    by_order = {row.order: row for row in rows}
+    pairs = SPEC.seats_per_flight // 2
+    # Alternate keeps at most one transaction pending (plus the transient
+    # admission of the partner itself).
+    assert by_order[ArrivalOrder.ALTERNATE].measured_max_pending <= 2
+    # In Order and Reverse Order keep about half the workload pending.
+    for order in (ArrivalOrder.IN_ORDER, ArrivalOrder.REVERSE_ORDER):
+        assert by_order[order].measured_max_pending >= pairs
+    # Random sits in between.
+    assert (
+        by_order[ArrivalOrder.ALTERNATE].measured_max_pending
+        <= by_order[ArrivalOrder.RANDOM].measured_max_pending
+        <= by_order[ArrivalOrder.IN_ORDER].measured_max_pending + 1
+    )

@@ -1,0 +1,36 @@
+"""Table 2 — average percentage of successful coordination vs. k.
+
+Regenerates Table 2 from the Figure 7 sweep.  Expected shape: coordination
+increases with k, the largest k is (near) perfect, IS is far lower, and even
+the smallest quantum configuration beats IS.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BENCH_SCALE, report
+from repro.experiments.figure7 import default_parameters, paper_parameters
+from repro.experiments.report import format_table
+from repro.experiments.table2 import run_table2
+
+PARAMETERS = paper_parameters() if BENCH_SCALE == "paper" else default_parameters()
+
+
+def test_table2_coordination(benchmark):
+    result = benchmark.pedantic(lambda: run_table2(PARAMETERS), rounds=1, iterations=1)
+    report(
+        "Table 2",
+        format_table(["System", "Avg % coordination"], result.rows(), precision=1),
+    )
+    averages = result.averages
+    ks = sorted(PARAMETERS.ks)
+    # Coordination percentage is (weakly) monotone in k: pre-emptive
+    # grounding is the only thing that costs coordination.
+    for smaller, larger in zip(ks, ks[1:]):
+        assert averages[f"k={smaller}"] <= averages[f"k={larger}"] + 1e-9
+    # The largest k achieves near-perfect coordination and clearly beats the
+    # intelligent-social baseline (the paper's 99.9% vs 20.2%).  At the
+    # scaled-down default sizes the *smallest* k can fall below IS — the
+    # paper's "even k=20 is 2x IS" claim needs the paper-sized workloads
+    # (REPRO_BENCH_SCALE=paper), so it is not asserted here.
+    assert averages[f"k={ks[-1]}"] >= 95.0
+    assert averages[f"k={ks[-1]}"] > averages["IS"]

@@ -1,0 +1,79 @@
+"""Quickstart: deferred seat booking with a quantum database.
+
+Walks through the paper's running example end to end:
+
+1. create the travel schema and a small flight,
+2. submit Mickey's resource transaction (any seat, OPTIONAL preference to
+   sit next to Goofy) — it commits without picking a seat,
+3. let Pluto take a specific seat with an ordinary resource transaction,
+4. submit Goofy's transaction — the entangled pair collapses and both get
+   adjacent seats,
+5. read Mickey's booking (an ordinary read, which would have collapsed the
+   uncertainty had it still existed) and check in.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import QuantumDatabase, make_adjacent_seat_request
+
+
+def build_flight(qdb: QuantumDatabase, flight: int, rows: int) -> None:
+    """Create the travel schema and one flight with ``rows`` rows of 3 seats."""
+    qdb.create_table("Available", ["flight", "seat"], key=["flight", "seat"])
+    qdb.create_table(
+        "Bookings", ["passenger", "flight", "seat"], key=["flight", "seat"]
+    )
+    qdb.create_table(
+        "Adjacent", ["flight", "seat1", "seat2"], key=["flight", "seat1", "seat2"]
+    )
+    seats, adjacency = [], []
+    for row in range(1, rows + 1):
+        labels = [f"{row}{letter}" for letter in "ABC"]
+        seats.extend((flight, label) for label in labels)
+        for left, right in zip(labels, labels[1:]):
+            adjacency.append((flight, left, right))
+            adjacency.append((flight, right, left))
+    qdb.load_rows("Available", seats)
+    qdb.load_rows("Adjacent", adjacency)
+
+
+def main() -> None:
+    qdb = QuantumDatabase()
+    build_flight(qdb, flight=123, rows=3)
+
+    print("== Mickey books a seat, hoping to sit next to Goofy ==")
+    mickey = qdb.execute(make_adjacent_seat_request("Mickey", "Goofy", flight=123))
+    print(f"committed: {mickey.committed}, value assignment deferred: {mickey.pending}")
+    print(f"pending transactions in the system: {qdb.pending_count}")
+
+    print("\n== Pluto insists on seat 1A (a hard constraint) ==")
+    pluto = qdb.execute(
+        "-Available(123, '1A'), +Bookings('Pluto', 123, '1A') :-1 Available(123, '1A')"
+    )
+    print(f"committed: {pluto.committed} (Mickey's optional preference cannot block him)")
+
+    print("\n== Goofy arrives: the entangled pair is grounded together ==")
+    goofy = qdb.execute(make_adjacent_seat_request("Goofy", "Mickey", flight=123))
+    for record in goofy.grounded:
+        print(
+            f"  {record.transaction.client}: flight {record.valuation.get('f', 123)}, "
+            f"seat {record.valuation['s']}, coordinated={record.coordinated}"
+        )
+
+    print("\n== Reads see an ordinary, concrete database ==")
+    for row in qdb.read("Bookings", [None, 123, None], select=["_0", "_2"]):
+        print(f"  {row['_0']} -> seat {row['_2']}")
+
+    print("\n== Check-in returns the (now fixed) assignment ==")
+    record = qdb.check_in(mickey.transaction_id)
+    assert record is not None
+    print(f"  Mickey checked in: seat {record.valuation['s']}")
+    print(f"\ncoordination report: {qdb.coordination_report()}")
+
+
+if __name__ == "__main__":
+    main()

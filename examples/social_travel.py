@@ -1,0 +1,68 @@
+"""Social travel: entangled coordination at scale, vs. the IS baseline.
+
+Reproduces the paper's evaluation scenario in miniature: a flight database,
+a workload of entangled seat requests where each user wants to sit next to
+a friend who books separately, and a comparison between the quantum
+database (deferred assignment, ground-on-partner-arrival) and the
+"intelligent social" client-side strategy.
+
+Run with::
+
+    python examples/social_travel.py [arrival_order]
+
+where ``arrival_order`` is one of ``alternate``, ``random`` (default),
+``in_order``, ``reverse_order``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.runner import run_is_entangled, run_quantum_entangled
+from repro.workloads.arrival_orders import ArrivalOrder
+from repro.workloads.entangled_workload import generate_workload
+from repro.workloads.flights import FlightDatabaseSpec
+
+#: Command-line names for the arrival orders.
+ORDER_NAMES = {
+    "alternate": ArrivalOrder.ALTERNATE,
+    "random": ArrivalOrder.RANDOM,
+    "in_order": ArrivalOrder.IN_ORDER,
+    "reverse_order": ArrivalOrder.REVERSE_ORDER,
+}
+
+
+def main(order_name: str = "random") -> None:
+    order = ORDER_NAMES[order_name]
+    spec = FlightDatabaseSpec(num_flights=2, rows_per_flight=8)
+    workload = generate_workload(spec, order, seed=7)
+    print(
+        f"flight database: {spec.num_flights} flights x {spec.seats_per_flight} seats; "
+        f"{len(workload)} entangled transactions in {order.value} order\n"
+    )
+
+    quantum = run_quantum_entangled(workload, k=10)
+    print(
+        f"QuantumDB      : total {quantum.total_time * 1000:.1f} ms, "
+        f"max pending {quantum.max_pending}, "
+        f"coordination {quantum.coordination_percentage:.1f}% "
+        f"({quantum.coordinated_users}/{quantum.max_possible} users)"
+    )
+
+    baseline = run_is_entangled(workload)
+    print(
+        f"IntelligentSoc.: total {baseline.total_time * 1000:.1f} ms, "
+        f"coordination {baseline.coordination_percentage:.1f}% "
+        f"({baseline.coordinated_users}/{baseline.max_possible} users)"
+    )
+
+    factor = (
+        quantum.coordination_percentage / baseline.coordination_percentage
+        if baseline.coordination_percentage
+        else float("inf")
+    )
+    print(f"\ncoordination improvement over IS: {factor:.2f}x")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "random")

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in offline
+environments whose setuptools/pip combination cannot build PEP 517 wheels
+(no ``wheel`` package available).  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

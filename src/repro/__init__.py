@@ -1,0 +1,69 @@
+"""Reproduction of "Quantum Databases" (Roy, Kot, Koch — CIDR 2013).
+
+A quantum database defers the choices made by transactions until an
+application or user forces them by observation: resource transactions
+commit without concrete value assignments, the system keeps the set of
+possible worlds non-empty through unification-based composition and
+satisfiability checks, and reads collapse exactly the uncertainty they
+touch.
+
+The top-level package re-exports the names most applications need; the
+subpackages are:
+
+* :mod:`repro.core` — the quantum database middle tier (the paper's
+  contribution);
+* :mod:`repro.relational` — the extensional store substrate (replacing the
+  paper's MySQL);
+* :mod:`repro.logic` — terms, atoms, unification and composed-body
+  formulas;
+* :mod:`repro.solver` — grounding search, CSP and SAT machinery;
+* :mod:`repro.baselines` — the paper's "intelligent social" baseline and an
+  eager-assignment baseline;
+* :mod:`repro.workloads` — flight databases, arrival orders, and the
+  entangled / mixed workloads of the evaluation section;
+* :mod:`repro.experiments` — harnesses regenerating every table and figure.
+"""
+
+from repro.core.entanglement import (
+    EntangledResourceTransaction,
+    make_adjacent_seat_request,
+)
+from repro.core.grounding_policy import GroundingPolicy, GroundingStrategy
+from repro.core.parser import format_transaction, parse_transaction
+from repro.core.quantum_database import CommitResult, QuantumConfig, QuantumDatabase
+from repro.core.reads import ReadMode, ReadRequest
+from repro.core.resource_transaction import ResourceTransaction
+from repro.core.serializability import SerializabilityMode
+from repro.errors import (
+    QuantumError,
+    ReproError,
+    TransactionRejected,
+    WriteRejected,
+)
+from repro.relational.database import Database
+from repro.relational.planner import PlannerConfig
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CommitResult",
+    "Database",
+    "EntangledResourceTransaction",
+    "GroundingPolicy",
+    "GroundingStrategy",
+    "PlannerConfig",
+    "QuantumConfig",
+    "QuantumDatabase",
+    "QuantumError",
+    "ReadMode",
+    "ReadRequest",
+    "ReproError",
+    "ResourceTransaction",
+    "SerializabilityMode",
+    "TransactionRejected",
+    "WriteRejected",
+    "__version__",
+    "format_transaction",
+    "make_adjacent_seat_request",
+    "parse_transaction",
+]

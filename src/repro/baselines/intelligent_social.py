@@ -1,0 +1,185 @@
+"""The "intelligent social" (IS) baseline (Section 5.2).
+
+"Such a user first issues a query to check whether his/her friend has an
+existing reservation.  If so, he books the adjacent seat, and if not he
+books a seat with a free adjacent seat.  The IS workload simulates the kind
+of coordination that is achievable without using a quantum database."
+
+The IS client runs directly against the relational store (no quantum
+state): every booking is assigned eagerly at submission time, so a user
+whose friend arrives later can only *hope* that the seat they kept free
+next to them is still free when the friend books.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.relational.database import Database
+from repro.relational.query import ConjunctiveQuery, Var
+
+
+@dataclass
+class ISBooking:
+    """Outcome of one intelligent-social booking attempt.
+
+    Attributes:
+        client: the booking user.
+        partner: the friend the user wants to sit next to (may be None).
+        flight: booked flight, or None when no seat was available.
+        seat: booked seat, or None when no seat was available.
+        adjacent_to_partner: True when the booked seat is adjacent to an
+            existing booking of the partner at booking time.
+    """
+
+    client: str
+    partner: str | None
+    flight: Any = None
+    seat: Any = None
+    adjacent_to_partner: bool = False
+
+    @property
+    def succeeded(self) -> bool:
+        """True if a seat was booked."""
+        return self.seat is not None
+
+
+class IntelligentSocialClient:
+    """Client-side coordination over an ordinary database.
+
+    Args:
+        database: the extensional store with ``Available``, ``Bookings`` and
+            ``Adjacent`` tables (see :mod:`repro.workloads.flights`).
+        available_table / bookings_table / adjacency_table: table-name
+            overrides for custom schemas.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        *,
+        available_table: str = "Available",
+        bookings_table: str = "Bookings",
+        adjacency_table: str = "Adjacent",
+    ) -> None:
+        self.database = database
+        self.available_table = available_table
+        self.bookings_table = bookings_table
+        self.adjacency_table = adjacency_table
+        self.bookings: list[ISBooking] = []
+
+    # -- queries -------------------------------------------------------------
+
+    def _partner_booking(self, partner: str, flight: Any | None) -> dict[str, Any] | None:
+        """The partner's existing booking, if any (optionally on a flight)."""
+        query = ConjunctiveQuery(select=["s"] if flight is not None else ["f", "s"], limit=1)
+        flight_term = Var("f") if flight is None else flight
+        query.add_atom(self.bookings_table, [partner, flight_term, Var("s")])
+        result = self.database.execute(query).first()
+        if result is None:
+            return None
+        if flight is not None:
+            result = dict(result)
+            result["f"] = flight
+        return result
+
+    def _adjacent_available(self, flight: Any, seat: Any) -> dict[str, Any] | None:
+        """An available seat adjacent to ``seat`` on ``flight``."""
+        query = ConjunctiveQuery(select=["s"], limit=1)
+        query.add_atom(self.adjacency_table, [flight, Var("s"), seat])
+        query.add_atom(self.available_table, [flight, Var("s")])
+        return self.database.execute(query).first()
+
+    def _seat_with_free_neighbour(self, flight: Any | None) -> dict[str, Any] | None:
+        """An available seat that still has an available adjacent seat."""
+        query = ConjunctiveQuery(select=["s"] if flight is not None else ["f", "s"], limit=1)
+        flight_term = Var("f") if flight is None else flight
+        query.add_atom(self.available_table, [flight_term, Var("s")])
+        query.add_atom(self.adjacency_table, [flight_term, Var("s"), Var("s2")])
+        query.add_atom(self.available_table, [flight_term, Var("s2")])
+        result = self.database.execute(query).first()
+        if result is not None and flight is not None:
+            result = dict(result)
+            result["f"] = flight
+        return result
+
+    def _any_available(self, flight: Any | None) -> dict[str, Any] | None:
+        """Any available seat (optionally on a specific flight)."""
+        query = ConjunctiveQuery(select=["s"] if flight is not None else ["f", "s"], limit=1)
+        flight_term = Var("f") if flight is None else flight
+        query.add_atom(self.available_table, [flight_term, Var("s")])
+        result = self.database.execute(query).first()
+        if result is not None and flight is not None:
+            result = dict(result)
+            result["f"] = flight
+        return result
+
+    # -- booking -------------------------------------------------------------
+
+    def book(
+        self, client: str, partner: str | None = None, *, flight: Any | None = None
+    ) -> ISBooking:
+        """Book one seat for ``client``, coordinating with ``partner`` if possible.
+
+        Follows the paper's IS strategy exactly: check the friend's booking
+        first; book the adjacent seat if one is free; otherwise book a seat
+        with a free neighbour (keeping a spot open for the friend); otherwise
+        take any seat; give up only when the flight is full.
+        """
+        booking = ISBooking(client=client, partner=partner)
+        choice: dict[str, Any] | None = None
+        if partner is not None:
+            partner_booking = self._partner_booking(partner, flight)
+            if partner_booking is not None:
+                adjacent = self._adjacent_available(
+                    partner_booking["f"], partner_booking["s"]
+                )
+                if adjacent is not None:
+                    choice = {"f": partner_booking["f"], "s": adjacent["s"]}
+                    booking.adjacent_to_partner = True
+        if choice is None:
+            choice = self._seat_with_free_neighbour(flight)
+        if choice is None:
+            choice = self._any_available(flight)
+        if choice is None:
+            self.bookings.append(booking)
+            return booking
+        booking.flight = choice["f"]
+        booking.seat = choice["s"]
+        with self.database.begin() as txn:
+            txn.delete(self.available_table, (booking.flight, booking.seat))
+            txn.insert(self.bookings_table, (client, booking.flight, booking.seat))
+        self.bookings.append(booking)
+        return booking
+
+    # -- reporting -------------------------------------------------------------
+
+    def coordinated_pairs(self) -> int:
+        """Number of users whose final seat is adjacent to their partner's.
+
+        Computed against the *final* database state, which is the fair
+        comparison with the quantum database (the IS user may get lucky:
+        their partner can land next to them even without planning).
+        """
+        coordinated = 0
+        for booking in self.bookings:
+            if not booking.succeeded or booking.partner is None:
+                continue
+            query = ConjunctiveQuery(select=["s2"], limit=1)
+            query.add_atom(
+                self.adjacency_table, [booking.flight, booking.seat, Var("s2")]
+            )
+            query.add_atom(
+                self.bookings_table, [booking.partner, booking.flight, Var("s2")]
+            )
+            if self.database.execute(query):
+                coordinated += 1
+        return coordinated
+
+    def coordination_percentage(self) -> float:
+        """Percentage of partnered bookings that ended up adjacent."""
+        partnered = [b for b in self.bookings if b.partner is not None]
+        if not partnered:
+            return 0.0
+        return 100.0 * self.coordinated_pairs() / len(partnered)

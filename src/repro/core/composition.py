@@ -1,0 +1,195 @@
+"""Composition of resource transactions (Lemma 3.4 and Theorem 3.5).
+
+A sequence of pending resource transactions is composed into a single
+formula whose satisfiability over the *current* extensional database
+guarantees the existence of consistent groundings for all of them, executed
+in sequence.  Following Lemma 3.4 and the worked example of Figure 3, every
+body atom ``b`` of a *later* transaction is rewritten against the update
+portion ``U`` of each *earlier* transaction:
+
+* inserts ``i ∈ U`` offer an alternative way for ``b`` to hold — ``b`` may
+  ground on the inserted tuple — contributing the disjunct ``ϕ(b, i)``;
+* deletes ``d ∈ U`` remove a tuple ``b`` may not ground on, contributing the
+  conjunct ``¬ϕ(b, d)``;
+
+so the factor for ``b`` is::
+
+    ( b ∨ ⋁_i ϕ(b, i) ) ∧ ⋀_d ¬ϕ(b, d)
+
+Unification predicates that are trivially FALSE (the atoms cannot unify)
+drop out of the disjunction, and trivially TRUE/FALSE conjuncts simplify
+away, reproducing exactly the composed bodies of Figure 3.
+
+Two textual conventions from the paper are handled here:
+
+* **variable namespaces** — the proof of Lemma 3.4 assumes the composed
+  transactions share no variables; :func:`compose_sequence` renames the
+  variables of each transaction with a per-transaction suffix before
+  composing (the caller receives the renamed transactions so groundings can
+  be mapped back);
+* **optional atoms** — only the *non-optional* body atoms participate in the
+  invariant (Section 2: "the only invariant ... is that there exists a
+  satisfying assignment for its non-optional body atoms"); optional atoms
+  can be composed separately for grounding-time preference maximisation via
+  ``include_optional=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.resource_transaction import ResourceTransaction
+from repro.logic.atoms import Atom, AtomKind
+from repro.logic.formula import (
+    AtomFormula,
+    FALSE,
+    Formula,
+    Negation,
+    TRUE,
+    conjunction,
+    disjunction,
+)
+from repro.logic.unification import unification_predicate
+
+
+def rewrite_atom_against_updates(atom: Atom, updates: Sequence[Atom]) -> Formula:
+    """Rewrite one later body atom against one earlier update portion.
+
+    Returns the factor ``(b ∨ ⋁_i ϕ(b, i)) ∧ ⋀_d ¬ϕ(b, d)`` described in the
+    module docstring.  When the update portion shares no relation with the
+    atom the factor collapses back to the plain atom.
+    """
+    base = AtomFormula(atom.as_body())
+    alternatives: list[Formula] = [base]
+    exclusions: list[Formula] = []
+    for update in updates:
+        predicate = unification_predicate(atom.as_body(), update.as_body())
+        if update.kind is AtomKind.INSERT:
+            if predicate is not FALSE:
+                alternatives.append(predicate)
+        elif update.kind is AtomKind.DELETE:
+            if predicate is not FALSE:
+                exclusions.append(Negation(predicate))
+    factor = disjunction(alternatives)
+    if exclusions:
+        factor = conjunction([factor, *exclusions])
+    return factor
+
+
+def rewrite_body_against_updates(
+    body: Iterable[Atom], updates: Sequence[Atom]
+) -> Formula:
+    """Rewrite a whole later body against an earlier update portion."""
+    return conjunction(
+        [rewrite_atom_against_updates(atom, updates) for atom in body]
+    )
+
+
+def compose_pair(
+    earlier: ResourceTransaction,
+    later: ResourceTransaction,
+    *,
+    include_optional: bool = False,
+) -> Formula:
+    """Compose two resource transactions (Lemma 3.4, general form).
+
+    The result is the body of the equivalent single transaction
+    ``U1,U2 :-1 B``: the earlier body conjoined with the later body rewritten
+    against the earlier update portion.  Satisfiability of the result on a
+    database ``D`` guarantees a consistent sequential grounding of
+    ``earlier`` then ``later`` on ``D``.
+
+    Args:
+        earlier: the transaction serialized first.
+        later: the transaction serialized second.
+        include_optional: include optional body atoms (used only when
+            building grounding-time "preferred" formulas, never for the
+            invariant).
+    """
+    earlier_body = earlier.body if include_optional else earlier.hard_body
+    later_body = later.body if include_optional else later.hard_body
+    first = conjunction([AtomFormula(a.as_body()) for a in earlier_body])
+    second = rewrite_body_against_updates(later_body, earlier.updates)
+    return conjunction([first, second])
+
+
+def compose_sequence(
+    transactions: Sequence[ResourceTransaction],
+    *,
+    include_optional: bool = False,
+    rename: bool = False,
+) -> Formula:
+    """Compose an ordered sequence of resource transactions (Theorem 3.5).
+
+    Transaction ``i``'s body is rewritten against the accumulated update
+    portions of transactions ``0 .. i-1``; the composed body is the
+    conjunction of all the rewritten bodies.  Satisfiability over the
+    current extensional database is exactly the quantum database invariant.
+
+    Args:
+        transactions: pending transactions in serialization order.
+        include_optional: include optional body atoms in the composition.
+        rename: rename each transaction's variables with a ``@<txn id>``
+            suffix before composing.  The quantum state does this renaming
+            itself (so that groundings can be mapped back per transaction);
+            enable it here for standalone use on transactions that may share
+            variable names.
+    """
+    if rename:
+        transactions = [
+            t.rename_variables(f"@{t.transaction_id}") for t in transactions
+        ]
+    factors: list[Formula] = []
+    accumulated_updates: list[Atom] = []
+    for transaction in transactions:
+        body = transaction.body if include_optional else transaction.hard_body
+        factors.append(rewrite_body_against_updates(body, accumulated_updates))
+        accumulated_updates.extend(transaction.updates)
+    if not factors:
+        return TRUE
+    return conjunction(factors)
+
+
+def composed_body(
+    transactions: Sequence[ResourceTransaction],
+    *,
+    include_optional: bool = False,
+) -> Formula:
+    """Alias of :func:`compose_sequence` with renaming disabled.
+
+    Provided for readability at call sites that have already namespaced
+    their transactions (the quantum state does).
+    """
+    return compose_sequence(transactions, include_optional=include_optional)
+
+
+@dataclass
+class CompositionReport:
+    """Diagnostic view of a composition, used by tests and the examples.
+
+    Attributes:
+        formula: the composed body.
+        atom_count: number of relational atoms in the composed body (the
+            analogue of the join count the paper bounds by MySQL's limit).
+        transaction_ids: ids of the composed transactions, in order.
+    """
+
+    formula: Formula
+    atom_count: int
+    transaction_ids: tuple[int, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def build(
+        cls,
+        transactions: Sequence[ResourceTransaction],
+        *,
+        include_optional: bool = False,
+    ) -> "CompositionReport":
+        """Compose ``transactions`` and report the resulting body size."""
+        formula = compose_sequence(transactions, include_optional=include_optional)
+        return cls(
+            formula=formula,
+            atom_count=len(formula.atoms()),
+            transaction_ids=tuple(t.transaction_id for t in transactions),
+        )

@@ -1,0 +1,232 @@
+"""Partitioning of pending transactions into independent sets.
+
+The prototype "partitions the resource transactions ... into independent
+sets and maintains a separate composed transaction body for each set"
+(Section 4, Quantum State).  Two transactions are independent when no atom
+of one unifies with an atom of the other — e.g. bookings on different,
+explicitly specified flights.  The partitioning is dynamic: a new
+transaction that unifies with members of several partitions forces those
+partitions to be merged (the window-or-aisle example of the paper).
+
+This module defines :class:`Partition` — an ordered set of pending
+transactions with its composed body and cached solution — and
+:class:`PartitionManager`, which owns all partitions and implements the
+merge-on-overlap logic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+from repro.core.composition import compose_sequence
+from repro.logic.atoms import Atom
+from repro.logic.formula import Formula
+from repro.logic.substitution import Substitution
+from repro.logic.unification import unifiable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.quantum_state import PendingTransaction
+
+#: Monotone counter for partition identifiers.
+_partition_counter = itertools.count(1)
+
+
+class Partition:
+    """An independent set of pending transactions.
+
+    Attributes:
+        partition_id: unique identifier (survives merges on the surviving
+            partition).
+        pending: pending transactions in serialization order.
+        cached_solution: a ground substitution satisfying the composed hard
+            body over the current extensional database, or ``None`` when it
+            must be recomputed.
+    """
+
+    def __init__(self, pending: Iterable["PendingTransaction"] = ()) -> None:
+        self.partition_id = next(_partition_counter)
+        self.pending: list["PendingTransaction"] = list(pending)
+        self.cached_solution: Substitution | None = None
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.pending)
+
+    def __iter__(self) -> Iterator["PendingTransaction"]:
+        return iter(self.pending)
+
+    def transactions(self) -> tuple["PendingTransaction", ...]:
+        """Pending transactions in serialization order."""
+        return tuple(self.pending)
+
+    def transaction_ids(self) -> tuple[int, ...]:
+        """Ids of the pending transactions, in order."""
+        return tuple(p.transaction_id for p in self.pending)
+
+    def atoms(self) -> tuple[Atom, ...]:
+        """Every atom (body and update) of every pending transaction."""
+        collected: list[Atom] = []
+        for entry in self.pending:
+            collected.extend(entry.renamed.body)
+            collected.extend(entry.renamed.updates)
+        return tuple(collected)
+
+    def relations(self) -> frozenset[str]:
+        """Names of all relations touched by the partition."""
+        names: set[str] = set()
+        for entry in self.pending:
+            names |= entry.renamed.relations()
+        return frozenset(names)
+
+    def composed_formula(self, *, include_optional: bool = False) -> Formula:
+        """The composed body of the pending transactions (Theorem 3.5)."""
+        return compose_sequence(
+            [entry.renamed for entry in self.pending],
+            include_optional=include_optional,
+        )
+
+    def composed_atom_count(self) -> int:
+        """Number of relational atoms in the composed hard body.
+
+        This is the analogue of the number of joins the paper's SQL
+        translation would need, which MySQL caps at 61.
+        """
+        return len(self.composed_formula().atoms())
+
+    def overlaps_atoms(self, atoms: Iterable[Atom]) -> bool:
+        """True if any given atom unifies with any atom of this partition.
+
+        This is the conservative unification-based independence test of the
+        paper: transactions that cannot unify anywhere can never interact.
+        """
+        own = self.atoms()
+        for atom in atoms:
+            for other in own:
+                if unifiable(atom.as_body(), other.as_body()):
+                    return True
+        return False
+
+    # -- mutation ------------------------------------------------------------
+
+    def append(self, entry: "PendingTransaction") -> None:
+        """Add a pending transaction at the end of the serialization order."""
+        self.pending.append(entry)
+
+    def remove(self, entry: "PendingTransaction") -> None:
+        """Remove a pending transaction (after it has been grounded)."""
+        self.pending.remove(entry)
+
+    def invalidate_solution(self) -> None:
+        """Drop the cached solution (after a write invalidated it)."""
+        self.cached_solution = None
+
+    def restrict_solution(self) -> None:
+        """Restrict the cached solution to the variables still pending.
+
+        Called after transactions are grounded and removed: the remaining
+        part of a consistent grounding for the full sequence is still a
+        consistent grounding for the remaining sequence (on the database
+        produced by executing the removed prefix), so the cache stays warm.
+        """
+        if self.cached_solution is None:
+            return
+        remaining = frozenset().union(
+            *(entry.renamed.variables() for entry in self.pending)
+        ) if self.pending else frozenset()
+        self.cached_solution = self.cached_solution.restrict(remaining)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Partition #{self.partition_id} pending={self.transaction_ids()}>"
+        )
+
+
+@dataclass
+class PartitionStatistics:
+    """Counters describing partition dynamics (reported by experiments)."""
+
+    merges: int = 0
+    max_partition_size: int = 0
+    max_composed_atoms: int = 0
+
+
+class PartitionManager:
+    """Owns all partitions and implements merge-on-overlap admission."""
+
+    def __init__(self) -> None:
+        self.partitions: list[Partition] = []
+        self.statistics = PartitionStatistics()
+
+    # -- introspection -------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Partition]:
+        return iter(self.partitions)
+
+    def __len__(self) -> int:
+        return len(self.partitions)
+
+    def pending_count(self) -> int:
+        """Total number of pending transactions across partitions."""
+        return sum(len(p) for p in self.partitions)
+
+    def find(self, transaction_id: int) -> tuple[Partition, "PendingTransaction"] | None:
+        """Locate a pending transaction by id."""
+        for partition in self.partitions:
+            for entry in partition:
+                if entry.transaction_id == transaction_id:
+                    return partition, entry
+        return None
+
+    def partition_of(self, transaction_id: int) -> Partition | None:
+        """The partition containing ``transaction_id``, if any."""
+        located = self.find(transaction_id)
+        return located[0] if located else None
+
+    # -- admission -----------------------------------------------------------
+
+    def overlapping_partitions(self, atoms: Sequence[Atom]) -> list[Partition]:
+        """Partitions whose atoms unify with any of ``atoms``."""
+        return [p for p in self.partitions if p.overlaps_atoms(atoms)]
+
+    def merged_for(self, atoms: Sequence[Atom]) -> tuple[Partition, bool]:
+        """Return the partition a transaction with ``atoms`` belongs to.
+
+        Overlapping partitions are merged (their pending lists concatenated
+        in global arrival order); a fresh empty partition is returned when
+        nothing overlaps.  The second element reports whether a merge of two
+        or more existing partitions happened.
+        """
+        overlapping = self.overlapping_partitions(atoms)
+        if not overlapping:
+            partition = Partition()
+            self.partitions.append(partition)
+            return partition, False
+        if len(overlapping) == 1:
+            return overlapping[0], False
+        merged = overlapping[0]
+        entries = [entry for partition in overlapping for entry in partition]
+        entries.sort(key=lambda e: e.sequence)
+        merged.pending = entries
+        merged.invalidate_solution()
+        for other in overlapping[1:]:
+            self.partitions.remove(other)
+        self.statistics.merges += 1
+        return merged, True
+
+    def drop_if_empty(self, partition: Partition) -> None:
+        """Remove ``partition`` from the manager when it has no pending txns."""
+        if not partition.pending and partition in self.partitions:
+            self.partitions.remove(partition)
+
+    def record_sizes(self) -> None:
+        """Update the high-water-mark statistics."""
+        for partition in self.partitions:
+            size = len(partition)
+            if size > self.statistics.max_partition_size:
+                self.statistics.max_partition_size = size
+            atoms = partition.composed_atom_count()
+            if atoms > self.statistics.max_composed_atoms:
+                self.statistics.max_composed_atoms = atoms

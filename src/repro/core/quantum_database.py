@@ -1,0 +1,411 @@
+"""The QuantumDatabase facade: the library's main public API.
+
+From the developer's perspective "the API is almost identical to the API
+provided by any standard database ... the major new feature is support for
+resource transactions" (Section 4).  :class:`QuantumDatabase` wraps an
+extensional :class:`~repro.relational.database.Database` and adds:
+
+* ``execute`` — submit a resource transaction (object or Datalog-like text);
+  it commits without assigning values, or is rejected if no consistent
+  grounding exists;
+* ``read`` — ordinary reads; under the default collapse semantics a read
+  forces the grounding of exactly the pending transactions it unifies with;
+* ``insert`` / ``delete`` — ordinary blind writes, admission-checked against
+  the pending transactions' composed bodies;
+* ``ground`` / ``ground_all`` / ``check_in`` — explicit collapse, e.g. when
+  the traveller shows up at the airport;
+* crash recovery from the pending-transactions table (``recover``).
+
+Typical usage::
+
+    qdb = QuantumDatabase()
+    qdb.create_table("Available", ["flight", "seat"], key=["flight", "seat"])
+    qdb.create_table("Bookings", ["passenger", "flight", "seat"], key=["flight", "seat"])
+    ...
+    result = qdb.execute(
+        "-Available(?f, ?s), +Bookings('Mickey', ?f, ?s) :-1 Available(?f, ?s)"
+    )
+    assert result.committed          # Mickey has a guaranteed seat ...
+    qdb.check_in(result.transaction_id)   # ... fixed only at check-in time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.entanglement import EntanglementRegistry
+from repro.core.grounding_policy import GroundingPolicy, GroundingStrategy
+from repro.core.parser import parse_transaction
+from repro.core.quantum_state import (
+    GroundedTransaction,
+    PendingTransaction,
+    QuantumState,
+)
+from repro.core.reads import ReadMode, ReadRequest
+from repro.core.recovery import PendingTransactionStore
+from repro.core.resource_transaction import ResourceTransaction
+from repro.core.serializability import SerializabilityMode
+from repro.core.worlds import enumerate_possible_worlds
+from repro.errors import QuantumError, TransactionRejected
+from repro.logic.atoms import Atom
+from repro.relational.database import Database
+from repro.relational.dml import Delete, Insert, Statement
+from repro.relational.planner import MYSQL_JOIN_LIMIT, PlannerConfig
+from repro.relational.schema import Column
+
+
+@dataclass(frozen=True)
+class QuantumConfig:
+    """Configuration of a quantum database.
+
+    Attributes:
+        k: maximum number of pending transactions per partition (the paper's
+            ``k``; default 61, MySQL's join limit).
+        strategy: forced-grounding victim order (paper default: oldest
+            first).
+        serializability: STRICT (arrival order) or SEMANTIC (the paper's
+            preferred mode).
+        read_mode: default read semantics (the paper's choice: COLLAPSE).
+        ground_on_partner_arrival: ground an entangled pair as soon as both
+            partners are in the system (Section 5.1's execution policy).
+        planner: join-planner settings for the underlying store.
+    """
+
+    k: int = MYSQL_JOIN_LIMIT
+    strategy: GroundingStrategy = GroundingStrategy.OLDEST_FIRST
+    serializability: SerializabilityMode = SerializabilityMode.SEMANTIC
+    read_mode: ReadMode = ReadMode.COLLAPSE
+    ground_on_partner_arrival: bool = True
+    planner: PlannerConfig = field(default_factory=PlannerConfig)
+
+    def policy(self) -> GroundingPolicy:
+        """The grounding policy implied by this configuration."""
+        return GroundingPolicy(k=self.k, strategy=self.strategy)
+
+
+@dataclass
+class CommitResult:
+    """Outcome of submitting a resource transaction.
+
+    The commit notification "represents a guarantee that the transaction
+    will achieve its goal of booking a seat when value assignment actually
+    happens" — so ``committed=True`` means the application never needs to
+    check back.
+
+    Attributes:
+        transaction: the submitted transaction.
+        committed: True if the transaction was admitted.
+        pending: True if its values are still deferred (False when it was
+            grounded immediately, e.g. by partner arrival or the k bound).
+        grounded: transactions whose values were fixed as a side effect of
+            this submission (partner pairs, forced groundings).
+        rejection_reason: populated when ``committed`` is False.
+    """
+
+    transaction: ResourceTransaction
+    committed: bool
+    pending: bool = False
+    grounded: tuple[GroundedTransaction, ...] = ()
+    rejection_reason: str | None = None
+
+    @property
+    def transaction_id(self) -> int:
+        """Id of the submitted transaction."""
+        return self.transaction.transaction_id
+
+    def __bool__(self) -> bool:
+        return self.committed
+
+
+class QuantumDatabase:
+    """A quantum database: an extensional store plus a quantum state."""
+
+    def __init__(
+        self,
+        database: Database | None = None,
+        config: QuantumConfig | None = None,
+    ) -> None:
+        self.config = config or QuantumConfig()
+        self.database = database or Database(self.config.planner)
+        self.pending_store = PendingTransactionStore(self.database)
+        self.entanglement = EntanglementRegistry()
+        self.state = QuantumState(
+            self.database,
+            policy=self.config.policy(),
+            serializability=self.config.serializability,
+            on_grounded=self._handle_grounded,
+        )
+
+    # ------------------------------------------------------------------
+    # Schema and extensional passthrough
+    # ------------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[Column | str],
+        key: Sequence[str] | None = None,
+        *,
+        indexes: Sequence[Sequence[str]] = (),
+    ):
+        """Create a table in the extensional store."""
+        return self.database.create_table(name, columns, key, indexes=indexes)
+
+    def table(self, name: str):
+        """Access a table of the extensional store directly (read-only use)."""
+        return self.database.table(name)
+
+    # ------------------------------------------------------------------
+    # Ordinary (non-resource) writes
+    # ------------------------------------------------------------------
+
+    def insert(self, table: str, values: Sequence[Any] | Mapping[str, Any]) -> None:
+        """Blind insert, checked against the pending transactions.
+
+        Raises:
+            WriteRejected: if the insert would invalidate a pending
+                transaction's guarantee.
+        """
+        self.state.validate_write([Insert(table, tuple(values) if not isinstance(values, Mapping) else values)])
+
+    def delete(self, table: str, values: Sequence[Any] | Mapping[str, Any]) -> None:
+        """Blind delete, checked against the pending transactions.
+
+        Raises:
+            WriteRejected: if the delete would invalidate a pending
+                transaction's guarantee.
+        """
+        self.state.validate_write([Delete(table, tuple(values) if not isinstance(values, Mapping) else values)])
+
+    def load_rows(self, table: str, rows: Iterable[Sequence[Any]]) -> None:
+        """Bulk-load initial data without write checks (setup convenience)."""
+        with self.database.begin() as txn:
+            for values in rows:
+                txn.insert(table, values)
+
+    # ------------------------------------------------------------------
+    # Resource transactions
+    # ------------------------------------------------------------------
+
+    def execute(
+        self, transaction: ResourceTransaction | str, **parse_kwargs: Any
+    ) -> CommitResult:
+        """Submit a resource transaction (object or Datalog-like text).
+
+        The transaction commits *without* assigning values; the commit is a
+        guarantee that a suitable assignment will exist whenever it is
+        forced.  If no consistent grounding exists the transaction is
+        rejected (``committed=False``) rather than raising, mirroring how an
+        application would experience an abort.
+        """
+        if isinstance(transaction, str):
+            transaction = parse_transaction(transaction, **parse_kwargs)
+        try:
+            entry = self.state.admit(transaction)
+        except TransactionRejected as exc:
+            return CommitResult(
+                transaction=transaction, committed=False, rejection_reason=str(exc)
+            )
+        grounded: list[GroundedTransaction] = []
+        # Forced groundings triggered by the k bound have already fired via
+        # the on_grounded callback; collect the ones involving this call.
+        if self.state.is_pending(transaction.transaction_id):
+            self.pending_store.persist(transaction, entry.sequence)
+        else:
+            record = self.state.grounded_results.get(transaction.transaction_id)
+            if record is not None:
+                grounded.append(record)
+        match = self.entanglement.register(transaction)
+        if match is not None and self.config.ground_on_partner_arrival:
+            grounded.extend(self.state.ground(match.transaction_ids()))
+        return CommitResult(
+            transaction=transaction,
+            committed=True,
+            pending=self.state.is_pending(transaction.transaction_id),
+            grounded=tuple(grounded),
+        )
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def read(
+        self,
+        request: ReadRequest | str,
+        terms: Sequence[Any] | None = None,
+        *,
+        mode: ReadMode | None = None,
+        select: Sequence[str] | None = None,
+        limit: int | None = None,
+    ) -> list[dict[str, Any]]:
+        """Answer a read query.
+
+        Accepts either a :class:`ReadRequest` or a relation name plus terms
+        (shorthand for a single-atom read).  The read mode defaults to the
+        configured one (COLLAPSE): pending transactions whose updates unify
+        with the read are grounded first, then the query is answered over
+        the extensional store, giving ordinary read-repeatability.
+        """
+        if isinstance(request, str):
+            if terms is None:
+                raise QuantumError("read(relation, terms) requires the terms argument")
+            request = ReadRequest.single(
+                request, terms, select=select, limit=limit,
+                mode=mode or self.config.read_mode,
+            )
+        effective_mode = mode or request.mode
+        if effective_mode is ReadMode.COLLAPSE:
+            affected = self.state.affected_by_read(request.atoms)
+            if affected:
+                self.state.ground([entry.transaction_id for entry in affected])
+            return self.database.execute(request.to_query()).bindings
+        if effective_mode is ReadMode.PEEK:
+            return self._peek(request)
+        return self._expose_all(request)
+
+    def _peek(self, request: ReadRequest) -> list[dict[str, Any]]:
+        """Answer over one possible world without collapsing anything."""
+        world = self.database.copy()
+        for partition in self.state.partitions:
+            solution = self.state.cache.ensure(partition)
+            if solution is None:
+                continue
+            for entry in partition:
+                for statement in entry.renamed.ground_updates(solution):
+                    world.apply(statement)
+        return world.execute(request.to_query()).bindings
+
+    def _expose_all(self, request: ReadRequest) -> list[dict[str, Any]]:
+        """Answer across all possible worlds, annotating answers with support."""
+        pending = [entry.original for entry in self.state.pending_transactions()]
+        worlds = enumerate_possible_worlds(self.database, pending)
+        counts: dict[tuple, dict[str, Any]] = {}
+        support: dict[tuple, int] = {}
+        for world in worlds:
+            world_db = self.database.copy()
+            world_db.restore(dict(world.snapshot))
+            for binding in world_db.execute(request.to_query()).bindings:
+                key = tuple(sorted(binding.items()))
+                counts[key] = binding
+                support[key] = support.get(key, 0) + 1
+        results = []
+        for key, binding in counts.items():
+            annotated = dict(binding)
+            annotated["_worlds"] = support[key]
+            results.append(annotated)
+        return results
+
+    # ------------------------------------------------------------------
+    # Explicit grounding
+    # ------------------------------------------------------------------
+
+    def ground(self, transaction_ids: Iterable[int]) -> list[GroundedTransaction]:
+        """Fix the value assignments of specific pending transactions."""
+        return self.state.ground(transaction_ids)
+
+    def ground_all(self) -> list[GroundedTransaction]:
+        """Fix every pending transaction (e.g. at the end of a booking day)."""
+        return self.state.ground_all()
+
+    def check_in(self, transaction_id: int) -> GroundedTransaction | None:
+        """Collapse one transaction and return its assignment.
+
+        Named after the running example: Mickey checking in for his flight
+        is the moment his seat must become concrete.  Returns the grounded
+        record (possibly from an earlier grounding) or ``None`` for unknown
+        ids.
+        """
+        if self.state.is_pending(transaction_id):
+            self.state.ground([transaction_id])
+        return self.state.grounded_results.get(transaction_id)
+
+    def assignment_of(self, transaction_id: int) -> dict[str, Any] | None:
+        """The fixed valuation of a grounded transaction, if it has one."""
+        record = self.state.grounded_results.get(transaction_id)
+        return dict(record.valuation) if record is not None else None
+
+    # ------------------------------------------------------------------
+    # Introspection and reporting
+    # ------------------------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        """Number of committed transactions still awaiting grounding."""
+        return self.state.pending_count()
+
+    @property
+    def statistics(self):
+        """The quantum state's counters (admissions, groundings, ...)."""
+        return self.state.statistics
+
+    def coordination_report(self) -> dict[str, float]:
+        """Summary of coordination success among grounded entangled requests.
+
+        Returns a dict with ``requests`` (grounded transactions that had
+        optional coordination atoms), ``coordinated`` (those whose optional
+        atoms were all satisfied) and ``percentage``.
+        """
+        grounded = [
+            record
+            for record in self.state.grounded_results.values()
+            if record.transaction.optional_body
+        ]
+        coordinated = sum(1 for record in grounded if record.coordinated)
+        total = len(grounded)
+        return {
+            "requests": float(total),
+            "coordinated": float(coordinated),
+            "percentage": (100.0 * coordinated / total) if total else 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls, database: Database, config: QuantumConfig | None = None
+    ) -> "QuantumDatabase":
+        """Rebuild the in-memory quantum state after a crash.
+
+        ``database`` is the extensional store as restored by the relational
+        recovery path (WAL replay); the pending-transactions table it
+        contains drives the reconstruction: every persisted transaction is
+        re-admitted in its original sequence order, rebuilding partitions,
+        composed bodies and the solution cache.
+
+        Raises:
+            QuantumRecoveryError: if a persisted transaction cannot be
+                restored or can no longer be satisfied (which would indicate
+                the crash interrupted an atomicity guarantee).
+        """
+        quantum = cls(database, config)
+        restored = quantum.pending_store.restore()
+        for _sequence, transaction in restored:
+            try:
+                quantum.state.admit(transaction)
+            except TransactionRejected as exc:
+                from repro.errors import QuantumRecoveryError
+
+                raise QuantumRecoveryError(
+                    f"pending transaction #{transaction.transaction_id} is no "
+                    f"longer satisfiable after recovery: {exc}"
+                ) from exc
+            quantum.entanglement.register(transaction)
+        return quantum
+
+    # ------------------------------------------------------------------
+    # Internal hooks
+    # ------------------------------------------------------------------
+
+    def _handle_grounded(self, record: GroundedTransaction) -> None:
+        """Housekeeping when a pending transaction gets grounded."""
+        self.pending_store.remove(record.transaction_id)
+        self.entanglement.withdraw(record.transaction)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<QuantumDatabase pending={self.pending_count} "
+            f"tables={len(self.database.table_names())}>"
+        )

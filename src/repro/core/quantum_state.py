@@ -1,0 +1,626 @@
+"""The quantum state: pending transactions and invariant maintenance.
+
+A quantum database ``D̂`` is "a completely extensional initial database"
+plus "an ordered sequence of pending transactions — more precisely,
+committed transactions whose value assignments are still pending"
+(Definition 3.1).  :class:`QuantumState` is that object: it owns the
+partitions of pending transactions, their composed bodies and cached
+solutions, and implements the operations of Section 3.2:
+
+* :meth:`QuantumState.admit` — composing a newly arrived resource
+  transaction into its partition and checking that the set of possible
+  worlds stays non-empty (else the transaction is rejected);
+* :meth:`QuantumState.ground` — fixing value assignments for specific
+  pending transactions (because of a read, a check-in, the arrival of a
+  coordination partner, or the ``k`` bound), under either strict or
+  semantic serializability, preferring groundings that satisfy optional
+  atoms;
+* :meth:`QuantumState.validate_write` — admission control for blind writes
+  issued by ordinary (non-resource) transactions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.core.composition import (
+    compose_sequence,
+    rewrite_atom_against_updates,
+    rewrite_body_against_updates,
+)
+from repro.core.grounding_policy import GroundingPolicy, GroundingStrategy
+from repro.core.partition import Partition, PartitionManager
+from repro.core.resource_transaction import ResourceTransaction
+from repro.core.serializability import (
+    GroundingPlan,
+    SerializabilityMode,
+    grounding_plan,
+)
+from repro.core.solution_cache import SolutionCache
+from repro.errors import (
+    QuantumStateError,
+    TransactionRejected,
+    WriteRejected,
+)
+from repro.logic.atoms import Atom, AtomKind
+from repro.logic.formula import Formula, TRUE, conjunction
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Variable
+from repro.logic.unification import unifiable
+from repro.relational.database import Database
+from repro.relational.dml import Delete, Insert, Statement
+
+
+@dataclass(frozen=True)
+class PendingTransaction:
+    """A committed resource transaction whose grounding is still deferred.
+
+    Attributes:
+        original: the transaction as submitted by the application.
+        renamed: the same transaction with variables suffixed ``@<id>`` so
+            that different pending transactions never share variables (the
+            assumption behind composition).
+        sequence: global arrival order (the serialization order within a
+            partition follows this unless semantically reordered).
+    """
+
+    original: ResourceTransaction
+    renamed: ResourceTransaction
+    sequence: int
+
+    @property
+    def transaction_id(self) -> int:
+        """Id of the underlying resource transaction."""
+        return self.original.transaction_id
+
+    @property
+    def suffix(self) -> str:
+        """The variable-renaming suffix used for this transaction."""
+        return f"@{self.original.transaction_id}"
+
+    def original_valuation(self, substitution: Substitution) -> dict[str, Any]:
+        """Map a grounding of the renamed variables back to original names."""
+        valuation: dict[str, Any] = {}
+        suffix = self.suffix
+        for var in self.renamed.variables():
+            term = substitution.apply_term(var)
+            if hasattr(term, "value"):
+                name = var.name
+                if name.endswith(suffix):
+                    name = name[: -len(suffix)]
+                valuation[name] = term.value
+        return valuation
+
+
+@dataclass
+class GroundedTransaction:
+    """Record of a pending transaction whose values have been fixed.
+
+    Attributes:
+        transaction: the original resource transaction.
+        valuation: variable-name → value mapping (original variable names).
+        satisfied_optionals: how many of the transaction's optional atoms
+            held under the chosen grounding (evaluated against the database
+            state in which the grounding was applied).
+        statements: the DML statements that were executed.
+        forced: True when grounding was forced by the ``k`` bound rather
+            than requested by a read / check-in / partner arrival.
+    """
+
+    transaction: ResourceTransaction
+    valuation: dict[str, Any]
+    satisfied_optionals: int
+    statements: tuple[Statement, ...]
+    forced: bool = False
+
+    @property
+    def transaction_id(self) -> int:
+        """Id of the grounded transaction."""
+        return self.transaction.transaction_id
+
+    @property
+    def coordinated(self) -> bool:
+        """True if every optional atom of the transaction was satisfied.
+
+        The evaluation section uses this as the per-transaction success
+        criterion for coordination (adjacent seats obtained).
+        """
+        total = len(self.transaction.optional_body)
+        return total > 0 and self.satisfied_optionals == total
+
+
+@dataclass
+class QuantumStateStatistics:
+    """Counters the experiments report."""
+
+    admitted: int = 0
+    rejected: int = 0
+    grounded: int = 0
+    forced_groundings: int = 0
+    writes_checked: int = 0
+    writes_rejected: int = 0
+    max_pending: int = 0
+    semantic_reorders: int = 0
+
+
+class QuantumState:
+    """Pending transactions, composed bodies, and invariant maintenance."""
+
+    def __init__(
+        self,
+        database: Database,
+        *,
+        policy: GroundingPolicy | None = None,
+        serializability: SerializabilityMode = SerializabilityMode.SEMANTIC,
+        on_grounded: Callable[[GroundedTransaction], None] | None = None,
+    ) -> None:
+        self.database = database
+        self.policy = policy or GroundingPolicy()
+        self.serializability = serializability
+        self.partitions = PartitionManager()
+        self.cache = SolutionCache(database)
+        self.statistics = QuantumStateStatistics()
+        self.grounded_results: dict[int, GroundedTransaction] = {}
+        self._sequence = itertools.count(1)
+        #: Callback invoked for every grounded transaction (the quantum
+        #: database uses it to delete rows from the pending-transactions
+        #: table and to notify the application if desired).
+        self.on_grounded = on_grounded
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def pending_count(self) -> int:
+        """Number of committed-but-not-grounded transactions."""
+        return self.partitions.pending_count()
+
+    def pending_transactions(self) -> list[PendingTransaction]:
+        """All pending transactions across partitions, in arrival order."""
+        entries = [entry for partition in self.partitions for entry in partition]
+        entries.sort(key=lambda e: e.sequence)
+        return entries
+
+    def find_pending(self, transaction_id: int) -> PendingTransaction | None:
+        """The pending entry for ``transaction_id``, if it is still pending."""
+        located = self.partitions.find(transaction_id)
+        return located[1] if located else None
+
+    def is_pending(self, transaction_id: int) -> bool:
+        """True if the transaction is still awaiting grounding."""
+        return self.find_pending(transaction_id) is not None
+
+    # ------------------------------------------------------------------
+    # Admission (new resource transactions)
+    # ------------------------------------------------------------------
+
+    def admit(self, transaction: ResourceTransaction) -> PendingTransaction:
+        """Admit a resource transaction, keeping the possible worlds non-empty.
+
+        The transaction's body is rewritten against the accumulated update
+        portions of its partition (Theorem 3.5), the solution cache tries to
+        extend the partition's cached grounding, and on a cache miss a full
+        grounding search (the ``LIMIT 1`` analogue) runs.  If no grounding
+        exists the transaction is rejected.
+
+        Returns:
+            The pending entry for the admitted transaction.
+
+        Raises:
+            TransactionRejected: if admitting the transaction would empty
+                the set of possible worlds.
+        """
+        sequence = next(self._sequence)
+        entry = PendingTransaction(
+            original=transaction,
+            renamed=transaction.rename_variables(f"@{transaction.transaction_id}"),
+            sequence=sequence,
+        )
+        atoms = tuple(entry.renamed.body) + tuple(entry.renamed.updates)
+        partition, _merged = self.partitions.merged_for(atoms)
+        accumulated = [
+            atom for pending in partition.pending for atom in pending.renamed.updates
+        ]
+        new_factor = rewrite_body_against_updates(entry.renamed.hard_body, accumulated)
+        solution = self.cache.ensure(
+            partition, new_factor, entry.renamed.hard_variables()
+        )
+        if solution is None:
+            self.statistics.rejected += 1
+            self.partitions.drop_if_empty(partition)
+            raise TransactionRejected(
+                f"transaction #{transaction.transaction_id} cannot be admitted: "
+                "no consistent grounding exists"
+            )
+        partition.append(entry)
+        partition.cached_solution = solution
+        self.statistics.admitted += 1
+        if self.pending_count() > self.statistics.max_pending:
+            self.statistics.max_pending = self.pending_count()
+        self._enforce_bound(partition)
+        return entry
+
+    def _enforce_bound(self, partition: Partition) -> None:
+        """Force-ground transactions until the ``k`` bound is respected."""
+        victims = self.policy.victims(partition)
+        if not victims:
+            return
+        self.statistics.forced_groundings += len(victims)
+        self.ground(
+            [v.transaction_id for v in victims],
+            forced=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Grounding
+    # ------------------------------------------------------------------
+
+    def ground(
+        self, transaction_ids: Iterable[int], *, forced: bool = False
+    ) -> list[GroundedTransaction]:
+        """Fix value assignments for the given pending transactions.
+
+        Transactions are grouped by partition; each group is grounded under
+        the configured serializability mode.  Ids that are not pending
+        (already grounded) are silently skipped, which makes the call
+        idempotent.
+        """
+        grouped: dict[int, tuple[Partition, list[PendingTransaction]]] = {}
+        for transaction_id in transaction_ids:
+            located = self.partitions.find(transaction_id)
+            if located is None:
+                continue
+            partition, entry = located
+            grouped.setdefault(partition.partition_id, (partition, []))[1].append(entry)
+        results: list[GroundedTransaction] = []
+        for partition, entries in grouped.values():
+            results.extend(self._ground_in_partition(partition, entries, forced=forced))
+        return results
+
+    def ground_all(self) -> list[GroundedTransaction]:
+        """Ground every pending transaction (used at workload end)."""
+        ids = [entry.transaction_id for entry in self.pending_transactions()]
+        return self.ground(ids)
+
+    def _ground_in_partition(
+        self,
+        partition: Partition,
+        targets: Sequence[PendingTransaction],
+        *,
+        forced: bool,
+    ) -> list[GroundedTransaction]:
+        plan = grounding_plan(
+            self.serializability,
+            partition,
+            targets,
+            lambda order: self._order_is_satisfiable(order),
+        )
+        if plan.reordered:
+            self.statistics.semantic_reorders += 1
+        order = list(plan.to_ground) + list(plan.remaining_order)
+        substitution, satisfied_atoms = self._choose_grounding(order, plan.to_ground)
+        if substitution is None:
+            raise QuantumStateError(
+                "quantum database invariant violated: no grounding exists for "
+                f"partition #{partition.partition_id}"
+            )
+        results = self._execute_grounding(
+            partition, plan, substitution, satisfied_atoms, forced=forced
+        )
+        return results
+
+    def _order_is_satisfiable(self, order: Sequence[PendingTransaction]) -> bool:
+        """Satisfiability check used by the semantic reorder strategy."""
+        formula = compose_sequence([entry.renamed for entry in order])
+        return self.cache.search.exists(formula)
+
+    #: How many candidate prefix groundings are tried before giving up on a
+    #: particular set of optional atoms (each candidate costs one suffix
+    #: satisfiability check).
+    _PREFIX_CANDIDATES = 8
+    #: Node budget for the combined prefix-and-suffix fallback search when
+    #: optional factors are included (the hard-only fallback is unbounded —
+    #: it must be complete to uphold the invariant).
+    _COMBINED_NODE_BUDGET = 20_000
+
+    def _choose_grounding(
+        self,
+        order: Sequence[PendingTransaction],
+        to_ground: Sequence[PendingTransaction],
+    ) -> tuple[Substitution | None, dict[int, int]]:
+        """Find a grounding of the order, maximising the prefix's optionals.
+
+        The transactions being grounded now (``to_ground``) form a prefix of
+        ``order``.  The search is decomposed exactly the way the paper's
+        solution cache suggests:
+
+        1. ground the prefix alone, preferring groundings that satisfy its
+           optional atoms (all of them first, then a greedy maximal subset);
+        2. for each candidate prefix grounding, check that the remaining
+           pending transactions are still jointly satisfiable (extending the
+           candidate), which is what guarantees the invariant survives;
+        3. fall back to a grounding of the whole order without optional
+           atoms if preferences cannot be accommodated.
+
+        Returns:
+            ``(substitution, satisfied)`` where the substitution covers both
+            the prefix and a witness for the suffix, and ``satisfied`` maps
+            each grounded transaction id to its satisfied-optional count at
+            search time.
+        """
+        satisfied: dict[int, int] = {entry.transaction_id: 0 for entry in to_ground}
+        prefix = list(to_ground)
+        prefix_ids = {entry.transaction_id for entry in prefix}
+        suffix = [entry for entry in order if entry.transaction_id not in prefix_ids]
+
+        prefix_hard = compose_sequence([entry.renamed for entry in prefix])
+        prefix_required = frozenset().union(
+            *(entry.renamed.hard_variables() for entry in prefix)
+        ) if prefix else frozenset()
+        suffix_formula, suffix_required = self._suffix_formula(prefix, suffix)
+        optional_atoms = self._optional_factors(order, to_ground)
+
+        def attempt(
+            selected: Sequence[tuple[int, Atom, Formula]]
+        ) -> Substitution | None:
+            """Try to ground the prefix with ``selected`` optional factors.
+
+            Strategy: enumerate a handful of prefix groundings and extend
+            each over the suffix (cheap in the common, under-constrained
+            case).  If none of those candidates extends — e.g. every early
+            candidate sits on a seat a later pinned transaction needs — fall
+            back to one *combined* prefix-and-suffix search, which is
+            complete; a node budget keeps the combined search from thrashing
+            when optional factors are involved.
+            """
+            formula = conjunction(
+                [prefix_hard] + [factor for _txn, _atom, factor in selected]
+            )
+            candidates = self.cache.search.find(
+                formula, required=prefix_required, limit=self._PREFIX_CANDIDATES
+            )
+            for candidate in candidates:
+                if not suffix:
+                    return candidate.substitution
+                extended = self.cache.search.find_one(
+                    suffix_formula,
+                    required=suffix_required,
+                    initial=candidate.substitution,
+                )
+                if extended.satisfiable:
+                    return extended.substitution
+            if not suffix:
+                return None
+            combined = self.cache.search.find_one(
+                conjunction([formula, suffix_formula]),
+                required=prefix_required | suffix_required,
+                node_budget=self._COMBINED_NODE_BUDGET if selected else None,
+            )
+            return combined.substitution if combined.satisfiable else None
+
+        if optional_atoms:
+            solution = attempt(optional_atoms)
+            if solution is not None:
+                for txn_id, _atom, _factor in optional_atoms:
+                    satisfied[txn_id] += 1
+                return solution, satisfied
+            # Greedy maximal subset of optional atoms.
+            accepted: list[tuple[int, Atom, Formula]] = []
+            best: Substitution | None = None
+            for candidate_atom in optional_atoms:
+                solution = attempt(accepted + [candidate_atom])
+                if solution is not None:
+                    accepted.append(candidate_atom)
+                    best = solution
+            if best is not None:
+                for txn_id, _atom, _factor in accepted:
+                    satisfied[txn_id] += 1
+                return best, satisfied
+        solution = attempt([])
+        if solution is not None:
+            return solution, satisfied
+        return None, satisfied
+
+    def _suffix_formula(
+        self,
+        prefix: Sequence[PendingTransaction],
+        suffix: Sequence[PendingTransaction],
+    ) -> tuple[Formula, frozenset[Variable]]:
+        """Composed body of the suffix, rewritten against the prefix updates."""
+        accumulated: list[Atom] = [
+            atom for entry in prefix for atom in entry.renamed.updates
+        ]
+        factors: list[Formula] = []
+        required: set[Variable] = set()
+        for entry in suffix:
+            factors.append(
+                rewrite_body_against_updates(entry.renamed.hard_body, accumulated)
+            )
+            accumulated.extend(entry.renamed.updates)
+            required |= entry.renamed.hard_variables()
+        return conjunction(factors) if factors else TRUE, frozenset(required)
+
+    def _optional_factors(
+        self,
+        order: Sequence[PendingTransaction],
+        to_ground: Sequence[PendingTransaction],
+    ) -> list[tuple[int, Atom, Formula]]:
+        """Optional atoms of the to-be-grounded entries, rewritten in context.
+
+        Each optional atom is rewritten against the update portions of the
+        transactions that precede its owner in the serialization order, the
+        same way hard atoms are during composition.
+        """
+        to_ground_ids = {entry.transaction_id for entry in to_ground}
+        factors: list[tuple[int, Atom, Formula]] = []
+        accumulated: list[Atom] = []
+        for entry in order:
+            if entry.transaction_id in to_ground_ids:
+                for atom in entry.renamed.optional_body:
+                    factors.append(
+                        (
+                            entry.transaction_id,
+                            atom,
+                            rewrite_atom_against_updates(atom, accumulated),
+                        )
+                    )
+            accumulated.extend(entry.renamed.updates)
+        return factors
+
+    def _execute_grounding(
+        self,
+        partition: Partition,
+        plan: GroundingPlan,
+        substitution: Substitution,
+        satisfied_atoms: dict[int, int],
+        *,
+        forced: bool,
+    ) -> list[GroundedTransaction]:
+        """Apply the update portions of the grounded prefix to the database."""
+        grounded_statements: list[tuple[PendingTransaction, list[Statement]]] = []
+        with self.database.begin() as txn:
+            for entry in plan.to_ground:
+                statements = entry.renamed.ground_updates(substitution)
+                for statement in statements:
+                    txn.apply(statement)
+                grounded_statements.append((entry, statements))
+        # Optional-atom satisfaction is reported against the database state
+        # that results from executing the grounded prefix: "sit next to
+        # Goofy" is a property of the final seating, not of the intermediate
+        # state in which one partner's booking does not exist yet.
+        results: list[GroundedTransaction] = []
+        for entry, statements in grounded_statements:
+            results.append(
+                GroundedTransaction(
+                    transaction=entry.original,
+                    valuation=entry.original_valuation(substitution),
+                    satisfied_optionals=self._count_satisfied_optionals(
+                        entry, substitution
+                    ),
+                    statements=tuple(statements),
+                    forced=forced,
+                )
+            )
+        partition.pending = list(plan.remaining_order)
+        partition.cached_solution = substitution
+        partition.restrict_solution()
+        self.partitions.drop_if_empty(partition)
+        for record in results:
+            self.grounded_results[record.transaction_id] = record
+            self.statistics.grounded += 1
+            if self.on_grounded is not None:
+                self.on_grounded(record)
+        return results
+
+    def _count_satisfied_optionals(
+        self, entry: PendingTransaction, substitution: Substitution
+    ) -> int:
+        """How many optional atoms of ``entry`` hold in the current database.
+
+        Only the bindings of the transaction's *hard* variables (the ones
+        that determine its actual effect — which seat was taken) are pinned;
+        auxiliary variables that occur solely in optional atoms are checked
+        existentially, so a preference counts as satisfied whenever the final
+        state supports it, regardless of what the preference-maximisation
+        search happened to bind those auxiliaries to.
+        """
+        pinned = substitution.restrict(entry.renamed.hard_variables())
+        count = 0
+        for atom in entry.renamed.optional_body:
+            specialised = pinned.apply_atom(atom)
+            formula = rewrite_atom_against_updates(specialised, [])
+            if self.cache.search.exists(formula):
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Reads: which pending transactions does a read touch?
+    # ------------------------------------------------------------------
+
+    def affected_by_read(self, atoms: Sequence[Atom]) -> list[PendingTransaction]:
+        """Pending transactions whose updates unify with any read atom.
+
+        This is the paper's "simple practical solution ... a conservative
+        criterion based on unifiability": if a relational atom of the read
+        unifies with a pending update, that transaction's values must be
+        fixed before the read can be answered.
+        """
+        affected: list[PendingTransaction] = []
+        for entry in self.pending_transactions():
+            for update in entry.renamed.updates:
+                if any(unifiable(update.as_body(), atom.as_body()) for atom in atoms):
+                    affected.append(entry)
+                    break
+        return affected
+
+    # ------------------------------------------------------------------
+    # Writes: blind-write admission control
+    # ------------------------------------------------------------------
+
+    def validate_write(self, statements: Sequence[Statement]) -> None:
+        """Apply blind writes only if every partition invariant survives.
+
+        "All writes to the database which unify with the bodies of the
+        pending transactions need to pass through a check and are rejected
+        if the check fails" (Section 3.2.2).  The check applies the write,
+        re-validates (or re-solves) every affected partition's composed body
+        over the modified database, and rolls the write back on failure.
+
+        Raises:
+            WriteRejected: if the write would empty the set of possible
+                worlds.
+        """
+        self.statistics.writes_checked += 1
+        write_atoms = [_statement_atom(s) for s in statements]
+        affected = [
+            partition
+            for partition in self.partitions
+            if partition.pending and partition.overlaps_atoms(write_atoms)
+        ]
+        txn = self.database.begin()
+        try:
+            for statement in statements:
+                txn.apply(statement)
+            new_solutions: dict[int, Substitution] = {}
+            for partition in affected:
+                formula = partition.composed_formula()
+                if self.cache.verify(formula, partition.cached_solution):
+                    continue
+                required = frozenset().union(
+                    *(e.renamed.hard_variables() for e in partition.pending)
+                )
+                result = self.cache.solve(formula, required=required)
+                if not result.satisfiable:
+                    raise WriteRejected(
+                        "write rejected: it would invalidate pending "
+                        f"transactions {partition.transaction_ids()}"
+                    )
+                new_solutions[partition.partition_id] = result.substitution
+        except Exception:
+            if txn.is_active:
+                txn.abort()
+            self.statistics.writes_rejected += 1
+            raise
+        txn.commit()
+        for partition in affected:
+            if partition.partition_id in new_solutions:
+                partition.cached_solution = new_solutions[partition.partition_id]
+
+
+def _statement_atom(statement: Statement) -> Atom:
+    """Convert a blind write statement into a ground atom for unification."""
+    if isinstance(statement, Insert):
+        values = statement.values
+    elif isinstance(statement, Delete) and statement.values is not None:
+        values = statement.values
+    else:
+        raise WriteRejected(
+            f"only blind single-row writes can be checked, got {statement!r}"
+        )
+    if isinstance(values, Mapping):
+        ordered = tuple(values.values())
+    else:
+        ordered = tuple(values)
+    return Atom.body(statement.table, ordered)

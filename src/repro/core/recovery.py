@@ -1,0 +1,116 @@
+"""Durability of pending resource transactions (Section 4, "Recovery").
+
+"Since the execution of resource transactions is deferred post-commit, we
+need to maintain additional information about these transactions to ensure
+durability.  We do this by utilizing the recovery mechanisms of the
+underlying database.  Each pending resource transaction is serialized and
+inserted into a special database table called the pending transactions
+table.  This insertion happens after the satisfiability check and before
+the transaction commits.  During recovery, a quantum database module
+restores the in-memory quantum state to what it was before the crash based
+on the pending transactions table.  When a pending resource transaction is
+grounded and executed, it is removed from the pending transactions table."
+
+:class:`PendingTransactionStore` implements exactly that: it owns the
+special table inside the extensional store and (de)serialises transactions
+through the textual notation of :mod:`repro.core.parser`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.parser import format_transaction, parse_transaction
+from repro.core.resource_transaction import ResourceTransaction
+from repro.errors import QuantumRecoveryError
+from repro.relational.database import Database
+from repro.relational.datatypes import DataType
+from repro.relational.schema import Column
+
+#: Name of the special table holding serialized pending transactions.
+PENDING_TABLE = "__pending_transactions"
+
+
+class PendingTransactionStore:
+    """The pending-transactions table and its (de)serialisation logic."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        if not database.has_table(PENDING_TABLE):
+            database.create_table(
+                PENDING_TABLE,
+                [
+                    Column("txn_id", DataType.INTEGER, nullable=False),
+                    Column("sequence", DataType.INTEGER, nullable=False),
+                    Column("client", DataType.TEXT),
+                    Column("partner", DataType.TEXT),
+                    Column("text", DataType.TEXT, nullable=False),
+                ],
+                key=["txn_id"],
+            )
+
+    @property
+    def table(self):
+        """The underlying table object."""
+        return self.database.table(PENDING_TABLE)
+
+    # -- persistence ---------------------------------------------------------
+
+    def persist(self, transaction: ResourceTransaction, sequence: int) -> None:
+        """Serialise a newly admitted transaction (before its commit returns)."""
+        self.database.insert(
+            PENDING_TABLE,
+            (
+                transaction.transaction_id,
+                sequence,
+                transaction.client,
+                transaction.partner,
+                format_transaction(transaction),
+            ),
+        )
+
+    def remove(self, transaction_id: int) -> None:
+        """Remove a grounded transaction from the table (no-op if absent)."""
+        row = self.table.get((transaction_id,))
+        if row is not None:
+            self.database.delete(PENDING_TABLE, row.values)
+
+    def clear(self) -> None:
+        """Remove every entry (used by tests)."""
+        for row in list(self.table.rows()):
+            self.database.delete(PENDING_TABLE, row.values)
+
+    # -- restore --------------------------------------------------------------
+
+    def restore(self) -> list[tuple[int, ResourceTransaction]]:
+        """Deserialise all persisted pending transactions, in sequence order.
+
+        Returns:
+            ``(sequence, transaction)`` pairs sorted by sequence number.
+
+        Raises:
+            QuantumRecoveryError: if a stored row cannot be parsed back.
+        """
+        restored: list[tuple[int, ResourceTransaction]] = []
+        for row in self.table.rows():
+            try:
+                transaction = parse_transaction(
+                    row["text"],
+                    transaction_id=row["txn_id"],
+                    client=row["client"],
+                    partner=row["partner"],
+                )
+            except Exception as exc:  # noqa: BLE001 - wrap any parse failure
+                raise QuantumRecoveryError(
+                    f"could not restore pending transaction {row['txn_id']}: {exc}"
+                ) from exc
+            restored.append((row["sequence"], transaction))
+        restored.sort(key=lambda pair: pair[0])
+        return restored
+
+    def pending_ids(self) -> frozenset[int]:
+        """Transaction ids currently persisted."""
+        return frozenset(row["txn_id"] for row in self.table.rows())
+
+    def __len__(self) -> int:
+        return len(self.table)

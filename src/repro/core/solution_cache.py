@@ -1,0 +1,167 @@
+"""The solution cache: cached groundings for composed transaction bodies.
+
+"The prototype maintains an in-memory cache of possible solutions (i.e.,
+value assignments) to the composed transaction bodies.  When a new resource
+transaction arrives in the system, we check whether an existing solution in
+the cache can be extended to accommodate the new transaction.  If this is
+not possible, then we generate a LIMIT 1 SQL query corresponding to the body
+of the new composed transaction" (Section 4).
+
+Our cached solutions are ground :class:`~repro.logic.substitution.Substitution`
+objects stored on each :class:`~repro.core.partition.Partition`; this module
+implements the *policy* around them:
+
+* :meth:`SolutionCache.verify` — cheaply re-check a cached solution against
+  the current database (needed after writes);
+* :meth:`SolutionCache.extend` — try to extend a cached solution with the
+  factors contributed by a newly arrived transaction;
+* :meth:`SolutionCache.solve` — fall back to a full grounding search (the
+  analogue of the ``LIMIT 1`` query against MySQL);
+* :meth:`SolutionCache.ensure` — the find-or-extend-or-solve flow used by
+  transaction admission, returning whether the invariant can be maintained.
+
+The cache keeps one solution per partition, exactly like the paper's
+prototype ("our current prototype ... maintains a single solution in the
+cache for every composed transaction"); the hit/miss counters let the
+experiments report how often extension succeeded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.partition import Partition
+from repro.errors import FormulaError
+from repro.logic.formula import Formula, TRUE
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Variable
+from repro.relational.database import Database
+from repro.solver.grounding import GroundingResult, GroundingSearch
+
+
+@dataclass
+class SolutionCacheStatistics:
+    """Counters describing solution-cache behaviour."""
+
+    verifications: int = 0
+    extension_hits: int = 0
+    extension_misses: int = 0
+    full_solves: int = 0
+    failures: int = 0
+
+
+class SolutionCache:
+    """Find-or-extend-or-solve logic for partition solutions."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self.search = GroundingSearch(database)
+        self.statistics = SolutionCacheStatistics()
+
+    # -- verification --------------------------------------------------------
+
+    def verify(self, formula: Formula, solution: Substitution | None) -> bool:
+        """True if ``solution`` still satisfies ``formula`` over the database.
+
+        Used after blind writes: the write may have removed the row the
+        cached solution grounded on.
+        """
+        if solution is None:
+            return False
+        self.statistics.verifications += 1
+        required = formula.free_variables()
+        if not required <= solution.domain():
+            return False
+        try:
+            valuation = solution.restrict(required).as_valuation()
+        except Exception:  # non-ground binding; treat as invalid
+            return False
+        try:
+            return formula.evaluate(valuation, self._oracle)
+        except FormulaError:
+            return False
+
+    def _oracle(self, relation: str, values: tuple) -> bool:
+        if not self.database.has_table(relation):
+            return False
+        table = self.database.table(relation)
+        columns = list(table.schema.column_names)
+        for _ in table.lookup(columns, list(values)):
+            return True
+        return False
+
+    # -- extension / solving --------------------------------------------------
+
+    def extend(
+        self,
+        base: Substitution | None,
+        new_factor: Formula,
+        required: Iterable[Variable],
+    ) -> GroundingResult:
+        """Extend ``base`` so that ``new_factor`` is also satisfied."""
+        initial = base or Substitution.empty()
+        result = self.search.find_one(new_factor, required=required, initial=initial)
+        if result.satisfiable:
+            self.statistics.extension_hits += 1
+        else:
+            self.statistics.extension_misses += 1
+        return result
+
+    def solve(
+        self, formula: Formula, required: Iterable[Variable] | None = None
+    ) -> GroundingResult:
+        """Full grounding search over the composed body (cache miss path)."""
+        self.statistics.full_solves += 1
+        result = self.search.find_one(formula, required=required)
+        if not result.satisfiable:
+            self.statistics.failures += 1
+        return result
+
+    # -- admission flow --------------------------------------------------------
+
+    def ensure(
+        self,
+        partition: Partition,
+        new_factor: Formula | None = None,
+        new_required: Iterable[Variable] = (),
+    ) -> Substitution | None:
+        """Ensure the partition (plus an optional new factor) is satisfiable.
+
+        Args:
+            partition: the partition whose invariant must hold.
+            new_factor: factor contributed by a transaction being admitted
+                (its body rewritten against the partition's accumulated
+                updates); ``None`` when only re-validating.
+            new_required: variables of the new factor that must be ground.
+
+        Returns:
+            A ground substitution witnessing satisfiability of the composed
+            body (including the new factor when given), or ``None`` when the
+            invariant cannot be maintained — in which case the caller must
+            reject the transaction or write.
+        """
+        base_formula = partition.composed_formula()
+        base_solution = partition.cached_solution
+        base_required = frozenset().union(
+            *(entry.renamed.hard_variables() for entry in partition.pending)
+        ) if partition.pending else frozenset()
+
+        base_valid = self.verify(base_formula, base_solution)
+        if new_factor is None or new_factor is TRUE:
+            if base_valid:
+                return base_solution
+            result = self.solve(base_formula, required=base_required)
+            return result.substitution if result.satisfiable else None
+
+        required = frozenset(new_required)
+        if base_valid and base_solution is not None:
+            extended = self.extend(base_solution, new_factor, required)
+            if extended.satisfiable:
+                return extended.substitution
+        # Cache miss: solve the whole composed body including the new factor.
+        from repro.logic.formula import conjunction
+
+        full = conjunction([base_formula, new_factor])
+        result = self.solve(full, required=base_required | required)
+        return result.substitution if result.satisfiable else None

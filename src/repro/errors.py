@@ -1,0 +1,153 @@
+"""Exception hierarchy shared across the quantum database reproduction.
+
+Every subpackage raises exceptions derived from :class:`ReproError` so that
+applications embedding the library can catch a single base class.  The
+hierarchy mirrors the layering of the system:
+
+* ``relational`` errors concern the extensional store (schema violations,
+  key conflicts, planner limits, transaction aborts).
+* ``logic`` errors concern malformed terms, atoms, or substitutions.
+* ``solver`` errors concern unsatisfiable or ill-posed constraint problems.
+* ``core`` (quantum database) errors concern resource-transaction admission,
+  grounding, and recovery.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` package."""
+
+
+# ---------------------------------------------------------------------------
+# Relational substrate
+# ---------------------------------------------------------------------------
+
+
+class RelationalError(ReproError):
+    """Base class for errors raised by :mod:`repro.relational`."""
+
+
+class SchemaError(RelationalError):
+    """A table or column definition is invalid or referenced incorrectly."""
+
+
+class UnknownTableError(SchemaError):
+    """A statement referenced a table that is not in the catalog."""
+
+
+class UnknownColumnError(SchemaError):
+    """A statement referenced a column that does not exist on its table."""
+
+
+class TypeMismatchError(SchemaError):
+    """A value does not conform to the declared column type."""
+
+
+class KeyViolationError(RelationalError):
+    """An insert would duplicate a primary-key value (set semantics)."""
+
+
+class MissingRowError(RelationalError):
+    """A delete or update targeted a row that does not exist."""
+
+
+class PlannerError(RelationalError):
+    """The query planner could not produce a plan (e.g. join limit hit)."""
+
+
+class JoinLimitExceededError(PlannerError):
+    """A query references more atoms than the engine's join limit.
+
+    This mirrors MySQL's 61-table join limit that the paper's prototype
+    inherits; the quantum database keeps composed bodies below the limit by
+    forcibly grounding pending transactions.
+    """
+
+
+class TransactionError(RelationalError):
+    """A transaction on the extensional store failed or was misused."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was rolled back (explicitly or by a conflict)."""
+
+
+class RecoveryError(RelationalError):
+    """Write-ahead-log replay or snapshot restore failed."""
+
+
+# ---------------------------------------------------------------------------
+# Logic layer
+# ---------------------------------------------------------------------------
+
+
+class LogicError(ReproError):
+    """Base class for errors raised by :mod:`repro.logic`."""
+
+
+class UnificationError(LogicError):
+    """Two atoms could not be unified when a unifier was required."""
+
+
+class SubstitutionError(LogicError):
+    """A substitution is inconsistent (a variable bound to two values)."""
+
+
+class FormulaError(LogicError):
+    """A formula is malformed or evaluated with unbound variables."""
+
+
+# ---------------------------------------------------------------------------
+# Solver layer
+# ---------------------------------------------------------------------------
+
+
+class SolverError(ReproError):
+    """Base class for errors raised by :mod:`repro.solver`."""
+
+
+class InconsistentProblemError(SolverError):
+    """A constraint problem is trivially inconsistent (empty domain)."""
+
+
+class GroundingError(SolverError):
+    """No grounding could be found when one was required to exist."""
+
+
+# ---------------------------------------------------------------------------
+# Quantum database (core)
+# ---------------------------------------------------------------------------
+
+
+class QuantumError(ReproError):
+    """Base class for errors raised by :mod:`repro.core`."""
+
+
+class ParseError(QuantumError):
+    """A resource transaction's textual representation is malformed."""
+
+
+class InvalidTransactionError(QuantumError):
+    """A resource transaction violates a structural rule.
+
+    Examples: range restriction (an update variable that does not occur in
+    the body), reads inside the FOLLOWED BY block, or an empty update
+    portion.
+    """
+
+
+class TransactionRejected(QuantumError):
+    """Admitting the transaction would empty the set of possible worlds."""
+
+
+class WriteRejected(QuantumError):
+    """A blind write would invalidate a pending transaction's invariant."""
+
+
+class QuantumStateError(QuantumError):
+    """The quantum state violates its invariant (internal error)."""
+
+
+class QuantumRecoveryError(QuantumError):
+    """The pending-transactions table could not be restored after a crash."""

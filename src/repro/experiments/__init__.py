@@ -1,0 +1,48 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+Each module exposes ``run_*`` functions (parameterised, returning structured
+results), ``default_parameters()`` (a scaled-down configuration that
+finishes in seconds), ``paper_parameters()`` (the sizes reported in the
+paper) and a ``main()`` that prints the corresponding table or series.
+
+Run any experiment from the command line, e.g.::
+
+    python -m repro.experiments.figure6
+    python -m repro.experiments.table2
+
+The mapping from paper artifact to module is recorded in DESIGN.md
+(per-experiment index) and the measured-vs-paper comparison in
+EXPERIMENTS.md.
+"""
+
+from repro.experiments import (  # noqa: F401 - re-exported for convenience
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    table1,
+    table2,
+)
+from repro.experiments.metrics import RunResult, Timer, coordination_percentage
+from repro.experiments.runner import (
+    run_is_entangled,
+    run_quantum_entangled,
+    run_quantum_mixed,
+)
+
+__all__ = [
+    "RunResult",
+    "Timer",
+    "coordination_percentage",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "run_is_entangled",
+    "run_quantum_entangled",
+    "run_quantum_mixed",
+    "table1",
+    "table2",
+]

@@ -1,0 +1,109 @@
+"""Figure 7 — scalability: total time vs. number of transactions.
+
+The paper grows the database from 10 to 100 flights (150 seats each), issues
+as many transactions as there are seats in Random order, and reports total
+completion time for k ∈ {20, 30, 40} and for the intelligent-social
+baseline.  Expected shape: total time grows roughly linearly with the
+number of transactions (thanks to per-flight partitioning), smaller k is
+faster, and IS is fastest.
+
+Table 2 (average coordination percentage per k) is computed from the same
+runs; see :mod:`repro.experiments.table2`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.experiments.metrics import RunResult
+from repro.experiments.report import format_table, print_report
+from repro.experiments.runner import run_is_entangled, run_quantum_entangled
+from repro.workloads.arrival_orders import ArrivalOrder
+from repro.workloads.entangled_workload import generate_workload
+from repro.workloads.flights import FlightDatabaseSpec
+
+
+@dataclass(frozen=True)
+class ScalabilityParameters:
+    """Sweep parameters for Figure 7 / Table 2.
+
+    Attributes:
+        flight_counts: database sizes (number of flights) to sweep.
+        rows_per_flight: seat rows per flight.
+        ks: quantum database ``k`` values to compare.
+        seed: RNG seed for the Random arrival order.
+    """
+
+    flight_counts: tuple[int, ...] = (2, 4, 6)
+    rows_per_flight: int = 6
+    ks: tuple[int, ...] = (2, 4, 8)
+    seed: int = 0
+
+
+@dataclass
+class Figure7Result:
+    """All scalability runs, keyed by (k or "IS", number of transactions)."""
+
+    parameters: ScalabilityParameters
+    #: label → list of (num_transactions, RunResult) in sweep order.
+    series: dict[str, list[tuple[int, RunResult]]] = field(default_factory=dict)
+
+    def total_time_rows(self) -> list[tuple[int, dict[str, float]]]:
+        """Per sweep point, total time per label (seconds)."""
+        by_count: dict[int, dict[str, float]] = {}
+        for label, points in self.series.items():
+            for count, result in points:
+                by_count.setdefault(count, {})[label] = result.total_time
+        return sorted(by_count.items())
+
+    def labels(self) -> list[str]:
+        """Series labels in insertion order."""
+        return list(self.series)
+
+
+def run_figure7(parameters: ScalabilityParameters | None = None) -> Figure7Result:
+    """Run the scalability sweep."""
+    parameters = parameters or default_parameters()
+    result = Figure7Result(parameters=parameters)
+    for num_flights in parameters.flight_counts:
+        spec = FlightDatabaseSpec(
+            num_flights=num_flights, rows_per_flight=parameters.rows_per_flight
+        )
+        workload = generate_workload(spec, ArrivalOrder.RANDOM, seed=parameters.seed)
+        num_transactions = len(workload)
+        for k in parameters.ks:
+            label = f"k={k}"
+            run = run_quantum_entangled(workload, k=k, label=label)
+            result.series.setdefault(label, []).append((num_transactions, run))
+        is_run = run_is_entangled(workload)
+        result.series.setdefault("IS", []).append((num_transactions, is_run))
+    return result
+
+
+def default_parameters() -> ScalabilityParameters:
+    """Scaled-down default sweep (seconds, not hours, on a laptop)."""
+    return ScalabilityParameters()
+
+
+def paper_parameters() -> ScalabilityParameters:
+    """The paper's sweep: 10–100 flights × 50 rows, k ∈ {20, 30, 40}."""
+    return ScalabilityParameters(
+        flight_counts=(10, 25, 50, 75, 100), rows_per_flight=50, ks=(20, 30, 40)
+    )
+
+
+def main(parameters: ScalabilityParameters | None = None) -> Figure7Result:
+    """Run and print Figure 7's series."""
+    result = run_figure7(parameters)
+    labels = result.labels()
+    rows = []
+    for count, times in result.total_time_rows():
+        rows.append([count] + [times.get(label, float("nan")) for label in labels])
+    body = format_table(["#Transactions"] + [f"{l} time (s)" for l in labels], rows)
+    print_report("Figure 7: scalability (total time vs number of transactions)", body)
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    main()

@@ -1,0 +1,105 @@
+"""Figure 8 — time split between reads and resource transactions.
+
+The paper fixes a 40-flight database, runs 6000 operations in random order,
+and sweeps the read percentage from 0% to 90% for k ∈ {20, 30, 40}.  The
+reported quantity is the time spent answering reads and the time spent
+executing resource transactions.  Expected shape: as the read fraction
+grows, read time increases while update (resource-transaction) time
+decreases — partly because there are fewer resource transactions, partly
+because reads force pre-emptive grounding, which keeps composed bodies
+small and cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.experiments.metrics import RunResult
+from repro.experiments.report import format_table, print_report
+from repro.experiments.runner import run_quantum_mixed
+from repro.workloads.flights import FlightDatabaseSpec
+from repro.workloads.mixed import generate_mixed_workload
+
+
+@dataclass(frozen=True)
+class MixedParameters:
+    """Sweep parameters for Figures 8 and 9.
+
+    Attributes:
+        spec: flight database sizing.
+        read_percentages: read fractions to sweep (percent).
+        ks: quantum database ``k`` values to compare.
+        total_operations: fixed total operation count, or ``None`` to submit
+            every pair's transactions and add reads on top.
+        seed: RNG seed.
+    """
+
+    spec: FlightDatabaseSpec = field(
+        default_factory=lambda: FlightDatabaseSpec(num_flights=4, rows_per_flight=5)
+    )
+    read_percentages: tuple[float, ...] = (0.0, 20.0, 40.0, 60.0, 80.0)
+    ks: tuple[int, ...] = (2, 4, 8)
+    total_operations: int | None = None
+    seed: int = 0
+
+
+@dataclass
+class Figure8Result:
+    """Read/update time split per k and read percentage."""
+
+    parameters: MixedParameters
+    #: (k, read %) → RunResult
+    runs: dict[tuple[int, float], RunResult] = field(default_factory=dict)
+
+    def rows(self) -> list[tuple[float, int, float, float]]:
+        """(read %, k, update time, read time) rows."""
+        rows = []
+        for (k, pct), run in sorted(self.runs.items(), key=lambda kv: (kv[0][1], kv[0][0])):
+            rows.append((pct, k, run.extra.get("update_time", 0.0), run.extra.get("read_time", 0.0)))
+        return rows
+
+
+def run_figure8(parameters: MixedParameters | None = None) -> Figure8Result:
+    """Run the mixed-workload sweep."""
+    parameters = parameters or default_parameters()
+    result = Figure8Result(parameters=parameters)
+    for pct in parameters.read_percentages:
+        workload = generate_mixed_workload(
+            parameters.spec,
+            pct,
+            total_operations=parameters.total_operations,
+            seed=parameters.seed,
+        )
+        for k in parameters.ks:
+            result.runs[(k, pct)] = run_quantum_mixed(workload, k=k, label=f"k={k}")
+    return result
+
+
+def default_parameters() -> MixedParameters:
+    """Scaled-down default sweep."""
+    return MixedParameters()
+
+
+def paper_parameters() -> MixedParameters:
+    """The paper's sweep: 40 flights × 50 rows, 6000 operations, k ∈ {20,30,40}."""
+    return MixedParameters(
+        spec=FlightDatabaseSpec(num_flights=40, rows_per_flight=50),
+        read_percentages=tuple(float(p) for p in range(0, 100, 10)),
+        ks=(20, 30, 40),
+        total_operations=6000,
+    )
+
+
+def main(parameters: MixedParameters | None = None) -> Figure8Result:
+    """Run and print Figure 8's series."""
+    result = run_figure8(parameters)
+    body = format_table(
+        ["Read %", "k", "Update time (s)", "Read time (s)"], result.rows()
+    )
+    print_report("Figure 8: time split under mixed workloads", body)
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    main()

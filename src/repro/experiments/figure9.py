@@ -1,0 +1,80 @@
+"""Figure 9 — coordination percentage vs. read percentage.
+
+Same sweep as Figure 8; the reported metric is the percentage of successful
+coordination.  Expected shape: coordination decreases roughly linearly as
+the read fraction grows, because reads force pre-emptive grounding of
+pending transactions before their partners arrive; larger k degrades more
+slowly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.figure8 import (
+    Figure8Result,
+    MixedParameters,
+    default_parameters,
+    paper_parameters,
+    run_figure8,
+)
+from repro.experiments.report import format_table, print_report
+
+__all__ = [
+    "Figure9Result",
+    "run_figure9",
+    "figure9_from_figure8",
+    "default_parameters",
+    "paper_parameters",
+    "main",
+]
+
+
+@dataclass
+class Figure9Result:
+    """Coordination percentage per (k, read %)."""
+
+    #: (k, read %) → coordination percentage
+    coordination: dict[tuple[int, float], float] = field(default_factory=dict)
+
+    def rows(self) -> list[tuple[float, int, float]]:
+        """(read %, k, coordination %) rows."""
+        return [
+            (pct, k, value)
+            for (k, pct), value in sorted(
+                self.coordination.items(), key=lambda kv: (kv[0][1], kv[0][0])
+            )
+        ]
+
+    def series_for(self, k: int) -> list[tuple[float, float]]:
+        """(read %, coordination %) series for one k."""
+        return sorted(
+            (pct, value) for (kk, pct), value in self.coordination.items() if kk == k
+        )
+
+
+def figure9_from_figure8(figure8: Figure8Result) -> Figure9Result:
+    """Derive Figure 9 from an existing Figure 8 sweep (no re-run)."""
+    result = Figure9Result()
+    for key, run in figure8.runs.items():
+        result.coordination[key] = run.coordination_percentage
+    return result
+
+
+def run_figure9(parameters: MixedParameters | None = None) -> Figure9Result:
+    """Run the mixed-workload sweep and report coordination percentages."""
+    return figure9_from_figure8(run_figure8(parameters))
+
+
+def main(parameters: MixedParameters | None = None) -> Figure9Result:
+    """Run and print Figure 9's series."""
+    result = run_figure9(parameters)
+    body = format_table(
+        ["Read %", "k", "Coordination %"], result.rows(), precision=1
+    )
+    print_report("Figure 9: coordination percentage vs read percentage", body)
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    main()

@@ -1,0 +1,68 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+The paper reports its results as figures; without a plotting dependency the
+harnesses print the same data as aligned text tables and simple series
+listings, which is enough to check the shapes (who wins, where the
+crossovers are).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]], *, precision: int = 3
+) -> str:
+    """Render rows as an aligned text table."""
+
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.{precision}f}"
+        return str(value)
+
+    rendered = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str, points: Sequence[tuple[Any, Any]], *, precision: int = 3
+) -> str:
+    """Render an (x, y) series with a title line."""
+    lines = [title]
+    for x, y in points:
+        if isinstance(y, float):
+            lines.append(f"  {x}: {y:.{precision}f}")
+        else:
+            lines.append(f"  {x}: {y}")
+    return "\n".join(lines)
+
+
+def downsample(series: Sequence[float], points: int = 10) -> list[tuple[int, float]]:
+    """Pick ``points`` evenly spaced (index, value) samples from a series."""
+    if not series:
+        return []
+    if len(series) <= points:
+        return list(enumerate(series, start=1))
+    step = len(series) / points
+    samples = []
+    for i in range(1, points + 1):
+        index = min(len(series) - 1, int(round(i * step)) - 1)
+        samples.append((index + 1, series[index]))
+    return samples
+
+
+def print_report(title: str, body: str) -> None:
+    """Print a titled report block."""
+    bar = "=" * max(len(title), 8)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

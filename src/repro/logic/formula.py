@@ -1,0 +1,321 @@
+"""Formula AST for composed transaction bodies.
+
+Theorem 3.5 composes the bodies of pending resource transactions into a
+single formula built from relational atoms, equality constraints (coming
+from unification predicates), conjunction, disjunction and negation::
+
+    B(M, 1, s1) ∧ {A(f2, s2) ∨ {(f2 = 1) ∧ (s1 = s2)}} ∧ A(2, s3) ∧ ¬{(f2 = 2) ∧ (s3 = s2)}
+
+This module defines that AST along with:
+
+* ``free_variables`` / ``atoms`` introspection,
+* application of substitutions,
+* evaluation under a ground valuation and a fact oracle (used to verify
+  candidate groundings), and
+* light simplification (constant folding of TRUE/FALSE, flattening).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.errors import FormulaError
+from repro.logic.atoms import Atom
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant, Term, Variable, as_term
+
+#: A fact oracle answers "is the ground atom relation(values...) true?".
+FactOracle = Callable[[str, tuple[Any, ...]], bool]
+
+
+class Formula:
+    """Base class of the formula AST."""
+
+    # -- introspection ------------------------------------------------------
+
+    def free_variables(self) -> frozenset[Variable]:
+        """Variables occurring anywhere in the formula."""
+        raise NotImplementedError
+
+    def atoms(self) -> tuple[Atom, ...]:
+        """All relational atoms in the formula, positives and negatives."""
+        raise NotImplementedError
+
+    def substitute(self, theta: Substitution) -> "Formula":
+        """Apply a substitution to every term in the formula."""
+        raise NotImplementedError
+
+    def evaluate(
+        self, valuation: Mapping[str, Any], oracle: FactOracle
+    ) -> bool:
+        """Evaluate under a ground valuation and a fact oracle.
+
+        Args:
+            valuation: variable-name → value mapping; must cover every free
+                variable.
+            oracle: callable deciding membership of ground atoms.
+
+        Raises:
+            FormulaError: if a free variable is missing from the valuation.
+        """
+        raise NotImplementedError
+
+    def simplify(self) -> "Formula":
+        """Return an equivalent, possibly smaller formula."""
+        return self
+
+    # -- combinators --------------------------------------------------------
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return conjunction([self, other])
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return disjunction([self, other])
+
+    def __invert__(self) -> "Formula":
+        return Negation(self)
+
+
+@dataclass(frozen=True)
+class _Truth(Formula):
+    """The constant TRUE or FALSE."""
+
+    value: bool
+
+    def free_variables(self) -> frozenset[Variable]:
+        return frozenset()
+
+    def atoms(self) -> tuple[Atom, ...]:
+        return ()
+
+    def substitute(self, theta: Substitution) -> Formula:
+        return self
+
+    def evaluate(self, valuation: Mapping[str, Any], oracle: FactOracle) -> bool:
+        return self.value
+
+    def __repr__(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+
+#: The trivially true formula (e.g. the unification predicate of two equal
+#: ground atoms).
+TRUE = _Truth(True)
+#: The trivially false formula (e.g. the unification predicate of atoms that
+#: do not unify).
+FALSE = _Truth(False)
+
+
+def _resolve(term: Term, valuation: Mapping[str, Any]) -> Any:
+    """Resolve a term to a concrete value under a valuation."""
+    if isinstance(term, Constant):
+        return term.value
+    if term.name not in valuation:
+        raise FormulaError(f"valuation does not bind variable {term.name!r}")
+    return valuation[term.name]
+
+
+@dataclass(frozen=True)
+class AtomFormula(Formula):
+    """A relational atom used as a formula (membership in the database)."""
+
+    atom: Atom
+
+    def free_variables(self) -> frozenset[Variable]:
+        return self.atom.variables()
+
+    def atoms(self) -> tuple[Atom, ...]:
+        return (self.atom,)
+
+    def substitute(self, theta: Substitution) -> Formula:
+        return AtomFormula(theta.apply_atom(self.atom))
+
+    def evaluate(self, valuation: Mapping[str, Any], oracle: FactOracle) -> bool:
+        values = tuple(_resolve(t, valuation) for t in self.atom.terms)
+        return oracle(self.atom.relation, values)
+
+    def __repr__(self) -> str:
+        return repr(self.atom)
+
+
+@dataclass(frozen=True)
+class Equality(Formula):
+    """An equality constraint between two terms (from unification predicates)."""
+
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "left", as_term(self.left))
+        object.__setattr__(self, "right", as_term(self.right))
+
+    def free_variables(self) -> frozenset[Variable]:
+        result = set()
+        for term in (self.left, self.right):
+            if isinstance(term, Variable):
+                result.add(term)
+        return frozenset(result)
+
+    def atoms(self) -> tuple[Atom, ...]:
+        return ()
+
+    def substitute(self, theta: Substitution) -> Formula:
+        return Equality(theta.apply_term(self.left), theta.apply_term(self.right))
+
+    def evaluate(self, valuation: Mapping[str, Any], oracle: FactOracle) -> bool:
+        return _resolve(self.left, valuation) == _resolve(self.right, valuation)
+
+    def simplify(self) -> Formula:
+        if isinstance(self.left, Constant) and isinstance(self.right, Constant):
+            return TRUE if self.left.value == self.right.value else FALSE
+        if self.left == self.right:
+            return TRUE
+        return self
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} = {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Conjunction(Formula):
+    """Logical AND of sub-formulas (TRUE when empty)."""
+
+    parts: tuple[Formula, ...]
+
+    def free_variables(self) -> frozenset[Variable]:
+        result: frozenset[Variable] = frozenset()
+        for part in self.parts:
+            result |= part.free_variables()
+        return result
+
+    def atoms(self) -> tuple[Atom, ...]:
+        collected: list[Atom] = []
+        for part in self.parts:
+            collected.extend(part.atoms())
+        return tuple(collected)
+
+    def substitute(self, theta: Substitution) -> Formula:
+        return Conjunction(tuple(part.substitute(theta) for part in self.parts))
+
+    def evaluate(self, valuation: Mapping[str, Any], oracle: FactOracle) -> bool:
+        return all(part.evaluate(valuation, oracle) for part in self.parts)
+
+    def simplify(self) -> Formula:
+        flattened: list[Formula] = []
+        for part in self.parts:
+            simplified = part.simplify()
+            if simplified is FALSE:
+                return FALSE
+            if simplified is TRUE:
+                continue
+            if isinstance(simplified, Conjunction):
+                flattened.extend(simplified.parts)
+            else:
+                flattened.append(simplified)
+        if not flattened:
+            return TRUE
+        if len(flattened) == 1:
+            return flattened[0]
+        return Conjunction(tuple(flattened))
+
+    def __repr__(self) -> str:
+        return "(" + " ∧ ".join(repr(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Disjunction(Formula):
+    """Logical OR of sub-formulas (FALSE when empty)."""
+
+    parts: tuple[Formula, ...]
+
+    def free_variables(self) -> frozenset[Variable]:
+        result: frozenset[Variable] = frozenset()
+        for part in self.parts:
+            result |= part.free_variables()
+        return result
+
+    def atoms(self) -> tuple[Atom, ...]:
+        collected: list[Atom] = []
+        for part in self.parts:
+            collected.extend(part.atoms())
+        return tuple(collected)
+
+    def substitute(self, theta: Substitution) -> Formula:
+        return Disjunction(tuple(part.substitute(theta) for part in self.parts))
+
+    def evaluate(self, valuation: Mapping[str, Any], oracle: FactOracle) -> bool:
+        return any(part.evaluate(valuation, oracle) for part in self.parts)
+
+    def simplify(self) -> Formula:
+        flattened: list[Formula] = []
+        for part in self.parts:
+            simplified = part.simplify()
+            if simplified is TRUE:
+                return TRUE
+            if simplified is FALSE:
+                continue
+            if isinstance(simplified, Disjunction):
+                flattened.extend(simplified.parts)
+            else:
+                flattened.append(simplified)
+        if not flattened:
+            return FALSE
+        if len(flattened) == 1:
+            return flattened[0]
+        return Disjunction(tuple(flattened))
+
+    def __repr__(self) -> str:
+        return "(" + " ∨ ".join(repr(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Negation(Formula):
+    """Logical NOT of a sub-formula."""
+
+    inner: Formula
+
+    def free_variables(self) -> frozenset[Variable]:
+        return self.inner.free_variables()
+
+    def atoms(self) -> tuple[Atom, ...]:
+        return self.inner.atoms()
+
+    def substitute(self, theta: Substitution) -> Formula:
+        return Negation(self.inner.substitute(theta))
+
+    def evaluate(self, valuation: Mapping[str, Any], oracle: FactOracle) -> bool:
+        return not self.inner.evaluate(valuation, oracle)
+
+    def simplify(self) -> Formula:
+        simplified = self.inner.simplify()
+        if simplified is TRUE:
+            return FALSE
+        if simplified is FALSE:
+            return TRUE
+        if isinstance(simplified, Negation):
+            return simplified.inner
+        return Negation(simplified)
+
+    def __repr__(self) -> str:
+        return f"¬{self.inner!r}"
+
+
+# ---------------------------------------------------------------------------
+# Constructors
+# ---------------------------------------------------------------------------
+
+
+def conjunction(parts: Sequence[Formula] | Iterable[Formula]) -> Formula:
+    """Build a (flattened, simplified) conjunction."""
+    return Conjunction(tuple(parts)).simplify()
+
+
+def disjunction(parts: Sequence[Formula] | Iterable[Formula]) -> Formula:
+    """Build a (flattened, simplified) disjunction."""
+    return Disjunction(tuple(parts)).simplify()
+
+
+def atoms_to_formula(atoms: Iterable[Atom]) -> Formula:
+    """Conjoin a collection of body atoms into a formula."""
+    return conjunction([AtomFormula(a.as_body()) for a in atoms])

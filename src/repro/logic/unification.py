@@ -1,0 +1,117 @@
+"""Most general unifiers and unification predicates.
+
+These are Definitions 3.2 and 3.3 of the paper.  Composition of resource
+transactions (Lemma 3.4 / Theorem 3.5) rewrites "does the body of a later
+transaction interact with an earlier transaction's update?" into unification
+predicates: conjunctions of equality constraints corresponding to the most
+general unifier of the two atoms.
+
+Example (from the paper): the mgu of ``R(1, v1, v2)`` and ``R(v3, 2, v4)``
+is ``{v1/2, v2/v4, v3/1}`` and the corresponding unification predicate is
+``(v1 = 2) ∧ (v2 = v4) ∧ (v3 = 1)``.  If no unifier exists the predicate is
+trivially false; if the mgu is empty (both atoms ground and equal) the
+predicate is trivially true.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.logic.atoms import Atom
+from repro.logic.formula import Equality, FALSE, Formula, TRUE, conjunction
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant, Term, Variable
+
+
+def unify_terms(
+    left: Term, right: Term, substitution: Substitution | None = None
+) -> Substitution | None:
+    """Unify two terms under an existing substitution.
+
+    Returns the extended substitution, or ``None`` if the terms clash.
+    """
+    theta = substitution or Substitution.empty()
+    left = theta.apply_term(left)
+    right = theta.apply_term(right)
+    if left == right:
+        return theta
+    if isinstance(left, Variable):
+        return theta.bind(left, right)
+    if isinstance(right, Variable):
+        return theta.bind(right, left)
+    # Two distinct constants.
+    return None
+
+
+def most_general_unifier(left: Atom, right: Atom) -> Substitution | None:
+    """Compute the mgu of two atoms (Definition 3.2).
+
+    Returns ``None`` when the atoms cannot be unified: different relation
+    names, different arities, or clashing constants at some position.
+    """
+    if left.relation != right.relation or left.arity != right.arity:
+        return None
+    theta: Substitution | None = Substitution.empty()
+    for l_term, r_term in zip(left.terms, right.terms):
+        theta = unify_terms(l_term, r_term, theta)
+        if theta is None:
+            return None
+    return theta
+
+
+def unification_predicate(left: Atom, right: Atom) -> Formula:
+    """Compute the unification predicate ϕ(left, right) (Definition 3.3).
+
+    The predicate is a conjunction of equalities, one per binding of the
+    most general unifier; trivially FALSE when no unifier exists and
+    trivially TRUE when the mgu is empty.
+    """
+    theta = most_general_unifier(left, right)
+    if theta is None:
+        return FALSE
+    equalities = [Equality(var, term) for var, term in theta.items()]
+    if not equalities:
+        return TRUE
+    return conjunction(equalities)
+
+
+def unifiable(left: Atom, right: Atom) -> bool:
+    """True if the two atoms have a unifier.
+
+    This is the conservative interference test the paper uses both for read
+    handling ("if a relational atom in our incoming read query unifies with
+    a pending update Ui ... the values involved in that transaction are
+    fixed") and for partitioning transactions into independent sets.
+    """
+    return most_general_unifier(left, right) is not None
+
+
+def any_unifiable(left: Iterable[Atom], right: Iterable[Atom]) -> bool:
+    """True if any atom of ``left`` unifies with any atom of ``right``."""
+    right_atoms = list(right)
+    for l_atom in left:
+        for r_atom in right_atoms:
+            if unifiable(l_atom, r_atom):
+                return True
+    return False
+
+
+def match_ground_atom(pattern: Atom, ground: Atom) -> Substitution | None:
+    """One-way match of ``pattern`` against a ground atom.
+
+    Unlike full unification, only the pattern's variables may be bound.
+    Used when checking whether a concrete row (a ground atom) satisfies a
+    body atom.
+    """
+    if pattern.relation != ground.relation or pattern.arity != ground.arity:
+        return None
+    theta = Substitution.empty()
+    for p_term, g_term in zip(pattern.terms, ground.terms):
+        if not isinstance(g_term, Constant):
+            return None
+        bound = theta.apply_term(p_term)
+        if isinstance(bound, Variable):
+            theta = theta.bind(bound, g_term)
+        elif bound != g_term:
+            return None
+    return theta

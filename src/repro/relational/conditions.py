@@ -1,0 +1,170 @@
+"""Condition AST for filtering rows in queries and DML statements.
+
+Conditions are small expression trees over column references and constants.
+They are deliberately minimal — equality, ordering comparisons, conjunction,
+disjunction and negation — because that is all a composed resource
+transaction body requires once unification predicates have been translated
+into equality constraints.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import FormulaError
+
+#: Comparison operators supported by :class:`Comparison`.
+_OPERATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class Condition:
+    """Base class of the condition AST."""
+
+    def evaluate(self, bindings: Mapping[str, Any]) -> bool:
+        """Evaluate the condition under a column-name → value binding."""
+        raise NotImplementedError
+
+    def references(self) -> frozenset[str]:
+        """The set of column references used by this condition."""
+        raise NotImplementedError
+
+    # Convenient combinators -------------------------------------------------
+
+    def __and__(self, other: "Condition") -> "Condition":
+        return Conjunction((self, other))
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return Disjunction((self, other))
+
+    def __invert__(self) -> "Condition":
+        return Negation(self)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Condition):
+    """A reference to a (possibly alias-qualified) column.
+
+    ColumnRefs are operands, not boolean conditions; evaluating one returns
+    its bound value.
+    """
+
+    name: str
+
+    def evaluate(self, bindings: Mapping[str, Any]) -> Any:
+        if self.name not in bindings:
+            raise FormulaError(f"unbound column reference {self.name!r}")
+        return bindings[self.name]
+
+    def references(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+
+@dataclass(frozen=True)
+class Constant(Condition):
+    """A literal operand."""
+
+    value: Any
+
+    def evaluate(self, bindings: Mapping[str, Any]) -> Any:
+        return self.value
+
+    def references(self) -> frozenset[str]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class Comparison(Condition):
+    """A binary comparison between two operands (column refs or constants)."""
+
+    op: str
+    left: Condition
+    right: Condition
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPERATORS:
+            raise FormulaError(f"unsupported comparison operator {self.op!r}")
+
+    def evaluate(self, bindings: Mapping[str, Any]) -> bool:
+        left = self.left.evaluate(bindings)
+        right = self.right.evaluate(bindings)
+        if left is None or right is None:
+            # SQL-ish semantics: comparisons against NULL are false.
+            return False
+        return _OPERATORS[self.op](left, right)
+
+    def references(self) -> frozenset[str]:
+        return self.left.references() | self.right.references()
+
+
+@dataclass(frozen=True)
+class Conjunction(Condition):
+    """Logical AND over sub-conditions (true when empty)."""
+
+    parts: tuple[Condition, ...]
+
+    def evaluate(self, bindings: Mapping[str, Any]) -> bool:
+        return all(part.evaluate(bindings) for part in self.parts)
+
+    def references(self) -> frozenset[str]:
+        refs: frozenset[str] = frozenset()
+        for part in self.parts:
+            refs |= part.references()
+        return refs
+
+
+@dataclass(frozen=True)
+class Disjunction(Condition):
+    """Logical OR over sub-conditions (false when empty)."""
+
+    parts: tuple[Condition, ...]
+
+    def evaluate(self, bindings: Mapping[str, Any]) -> bool:
+        return any(part.evaluate(bindings) for part in self.parts)
+
+    def references(self) -> frozenset[str]:
+        refs: frozenset[str] = frozenset()
+        for part in self.parts:
+            refs |= part.references()
+        return refs
+
+
+@dataclass(frozen=True)
+class Negation(Condition):
+    """Logical NOT of a sub-condition."""
+
+    inner: Condition
+
+    def evaluate(self, bindings: Mapping[str, Any]) -> bool:
+        return not self.inner.evaluate(bindings)
+
+    def references(self) -> frozenset[str]:
+        return self.inner.references()
+
+
+def equals(column: str, value: Any) -> Comparison:
+    """Shorthand for ``column = value`` against a literal."""
+    return Comparison("=", ColumnRef(column), Constant(value))
+
+
+def column_equals(left: str, right: str) -> Comparison:
+    """Shorthand for an equi-join condition ``left = right``."""
+    return Comparison("=", ColumnRef(left), ColumnRef(right))
+
+
+def conjoin(conditions: Sequence[Condition]) -> Condition:
+    """AND together a sequence of conditions (TRUE when empty)."""
+    parts = tuple(conditions)
+    if len(parts) == 1:
+        return parts[0]
+    return Conjunction(parts)

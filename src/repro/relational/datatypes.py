@@ -1,0 +1,112 @@
+"""Value domain of the relational substrate.
+
+The quantum database only needs a small, SQL-ish set of scalar types:
+integers, floats, strings, booleans and NULL.  Types are used for two
+purposes:
+
+* validating values on insert (``Column`` declarations carry a
+  :class:`DataType`), and
+* coercing literals written in textual resource transactions into canonical
+  Python values.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.errors import TypeMismatchError
+
+#: Python types admissible as column values, per DataType.
+_PY_TYPES = {
+    "INTEGER": (int,),
+    "FLOAT": (float, int),
+    "TEXT": (str,),
+    "BOOLEAN": (bool,),
+}
+
+
+class DataType(enum.Enum):
+    """Scalar column types supported by the engine."""
+
+    INTEGER = "INTEGER"
+    FLOAT = "FLOAT"
+    TEXT = "TEXT"
+    BOOLEAN = "BOOLEAN"
+    #: ANY accepts any scalar value; used by tables created on the fly by
+    #: workload generators and by the pending-transactions metadata table.
+    ANY = "ANY"
+
+    def validate(self, value: Any, *, column: str = "<anonymous>") -> Any:
+        """Return ``value`` coerced to this type, or raise.
+
+        ``None`` is always accepted (NULL).  ``FLOAT`` accepts ints and
+        coerces them to float.  ``BOOLEAN`` is strict (no 0/1 coercion) so
+        that key comparisons remain unambiguous.
+
+        Raises:
+            TypeMismatchError: if the value does not conform.
+        """
+        if value is None:
+            return None
+        if self is DataType.ANY:
+            if isinstance(value, (int, float, str, bool)):
+                return value
+            raise TypeMismatchError(
+                f"column {column!r}: unsupported value type {type(value).__name__}"
+            )
+        allowed = _PY_TYPES[self.value]
+        # bool is a subclass of int; keep the domains disjoint.
+        if self is not DataType.BOOLEAN and isinstance(value, bool):
+            raise TypeMismatchError(
+                f"column {column!r}: boolean value supplied for {self.value} column"
+            )
+        if not isinstance(value, allowed):
+            raise TypeMismatchError(
+                f"column {column!r}: expected {self.value}, got "
+                f"{type(value).__name__} ({value!r})"
+            )
+        if self is DataType.FLOAT:
+            return float(value)
+        return value
+
+    @classmethod
+    def infer(cls, value: Any) -> "DataType":
+        """Infer the narrowest :class:`DataType` for a Python value."""
+        if isinstance(value, bool):
+            return cls.BOOLEAN
+        if isinstance(value, int):
+            return cls.INTEGER
+        if isinstance(value, float):
+            return cls.FLOAT
+        if isinstance(value, str):
+            return cls.TEXT
+        return cls.ANY
+
+
+def coerce_literal(text: str) -> Any:
+    """Parse a literal token from a textual transaction into a Python value.
+
+    Quoted strings become ``str``; ``true``/``false`` become booleans;
+    otherwise integers, then floats, are attempted; a bare token falls back
+    to being a string (convenient for names such as ``Mickey``).
+    """
+    stripped = text.strip()
+    if len(stripped) >= 2 and stripped[0] in "'\"" and stripped[-1] == stripped[0]:
+        return stripped[1:-1]
+    lowered = stripped.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    if lowered in ("null", "none"):
+        return None
+    try:
+        return int(stripped)
+    except ValueError:
+        pass
+    try:
+        return float(stripped)
+    except ValueError:
+        pass
+    return stripped

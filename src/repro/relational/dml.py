@@ -1,0 +1,79 @@
+"""Data-manipulation statements: Insert, Delete, Update.
+
+Resource transactions only need *blind writes* (single-tuple inserts and
+deletes in the ``FOLLOWED BY`` block), but the experiments and the baselines
+also issue condition-based deletes and updates, so all three statement kinds
+are supported.  Statements are plain descriptions; the
+:class:`~repro.relational.database.Database` (optionally inside a
+:class:`~repro.relational.transaction.Transaction`) applies them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.relational.conditions import Condition
+
+
+@dataclass(frozen=True)
+class Insert:
+    """Insert a single row into ``table``.
+
+    ``values`` may be positional (sequence) or named (mapping).
+    """
+
+    table: str
+    values: tuple[Any, ...] | Mapping[str, Any]
+
+    def describe(self) -> str:
+        """Human-readable description used in logs and error messages."""
+        return f"INSERT INTO {self.table} VALUES {self.values!r}"
+
+
+@dataclass(frozen=True)
+class Delete:
+    """Delete rows from ``table``.
+
+    Exactly one of ``values`` (a single fully specified row / key) or
+    ``condition`` (delete all rows satisfying it) should be provided.  When
+    both are ``None`` the statement deletes nothing (and is flagged by
+    :meth:`is_blind`).
+    """
+
+    table: str
+    values: tuple[Any, ...] | Mapping[str, Any] | None = None
+    condition: Condition | None = None
+
+    def is_blind(self) -> bool:
+        """True if this is a single-tuple blind delete (resource-transaction style)."""
+        return self.values is not None and self.condition is None
+
+    def describe(self) -> str:
+        """Human-readable description used in logs and error messages."""
+        if self.values is not None:
+            return f"DELETE {self.values!r} FROM {self.table}"
+        return f"DELETE FROM {self.table} WHERE <condition>"
+
+
+@dataclass(frozen=True)
+class Update:
+    """Update rows of ``table`` matching ``condition`` with ``assignments``.
+
+    An update is executed as a delete of each matching row followed by an
+    insert of the modified row, so key maintenance and WAL logging reuse the
+    insert/delete paths.
+    """
+
+    table: str
+    assignments: Mapping[str, Any]
+    condition: Condition | None = None
+
+    def describe(self) -> str:
+        """Human-readable description used in logs and error messages."""
+        sets = ", ".join(f"{k}={v!r}" for k, v in self.assignments.items())
+        return f"UPDATE {self.table} SET {sets}"
+
+
+#: Union type accepted by Database.apply / Transaction.apply.
+Statement = Insert | Delete | Update

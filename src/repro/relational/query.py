@@ -1,0 +1,159 @@
+"""Conjunctive queries over the relational store.
+
+The quantum database's satisfiability checker issues ``LIMIT 1`` conjunctive
+queries — a join over the body atoms of a composed resource transaction.
+This module defines the query representation; :mod:`repro.relational.planner`
+orders the joins and :mod:`repro.relational.executor` evaluates them.
+
+A query is a set of :class:`QueryAtom` (one per referenced relation, with a
+term per column: either a :class:`Var` or a constant), an optional extra
+:class:`~repro.relational.conditions.Condition` over the variables, a list of
+output variables, and an optional ``limit``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import SchemaError
+from repro.relational.conditions import Condition
+
+
+@dataclass(frozen=True)
+class Var:
+    """A query variable, identified by name.
+
+    The same variable name appearing in several atom positions expresses an
+    equi-join between those positions.
+    """
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+@dataclass(frozen=True)
+class QueryAtom:
+    """One relational atom of a conjunctive query.
+
+    Attributes:
+        table: name of the referenced table.
+        terms: one term per column of the table, either a :class:`Var` or a
+            constant value.
+        negated: when True the atom is an *anti-join*: the query keeps a
+            binding only if no row matches the atom under that binding.
+            Negated atoms must be *safe*: every variable they use must also
+            occur in a positive atom.
+    """
+
+    table: str
+    terms: tuple[Any, ...]
+    negated: bool = False
+
+    def variables(self) -> tuple[Var, ...]:
+        """Variables occurring in this atom, in position order (with dups)."""
+        return tuple(t for t in self.terms if isinstance(t, Var))
+
+    def variable_names(self) -> frozenset[str]:
+        """Names of the distinct variables in this atom."""
+        return frozenset(t.name for t in self.terms if isinstance(t, Var))
+
+    def constants(self) -> dict[int, Any]:
+        """Mapping of column position → constant for the bound positions."""
+        return {i: t for i, t in enumerate(self.terms) if not isinstance(t, Var)}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.terms)
+        prefix = "NOT " if self.negated else ""
+        return f"{prefix}{self.table}({inner})"
+
+
+@dataclass
+class ConjunctiveQuery:
+    """A select-project-join query with optional LIMIT.
+
+    Attributes:
+        atoms: the joined relational atoms.
+        condition: extra condition over variable names (may reference any
+            variable bound by the atoms); ``None`` means TRUE.
+        select: variable names to project in the result; ``None`` selects all
+            variables bound by the atoms.
+        limit: maximum number of bindings to return; ``None`` means all.
+    """
+
+    atoms: list[QueryAtom] = field(default_factory=list)
+    condition: Condition | None = None
+    select: Sequence[str] | None = None
+    limit: int | None = None
+
+    def add_atom(
+        self, table: str, terms: Sequence[Any], *, negated: bool = False
+    ) -> QueryAtom:
+        """Append an atom and return it."""
+        atom = QueryAtom(table, tuple(terms), negated=negated)
+        self.atoms.append(atom)
+        return atom
+
+    def variable_names(self) -> frozenset[str]:
+        """All distinct variable names bound by positive atoms."""
+        names: set[str] = set()
+        for atom in self.atoms:
+            if not atom.negated:
+                names |= atom.variable_names()
+        return frozenset(names)
+
+    def validate(self) -> None:
+        """Check structural well-formedness (safety of negated atoms)."""
+        if not self.atoms:
+            raise SchemaError("a conjunctive query needs at least one atom")
+        positive_vars = self.variable_names()
+        for atom in self.atoms:
+            if atom.negated and not atom.variable_names() <= positive_vars:
+                unsafe = sorted(atom.variable_names() - positive_vars)
+                raise SchemaError(
+                    f"negated atom {atom!r} uses unsafe variables {unsafe}"
+                )
+        if self.select is not None:
+            unknown = set(self.select) - set(positive_vars)
+            if unknown:
+                raise SchemaError(
+                    f"projection references unbound variables {sorted(unknown)}"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        atoms = " AND ".join(repr(a) for a in self.atoms)
+        suffix = f" LIMIT {self.limit}" if self.limit is not None else ""
+        return f"<ConjunctiveQuery {atoms}{suffix}>"
+
+
+@dataclass
+class QueryResult:
+    """Result of evaluating a conjunctive query.
+
+    Attributes:
+        bindings: one mapping per result, from selected variable name to its
+            value.
+        rows_examined: number of candidate rows the executor touched; used by
+            the experiments to report work done independently of wall-clock
+            noise.
+        plans_considered: number of join orders the planner scored.
+    """
+
+    bindings: list[dict[str, Any]] = field(default_factory=list)
+    rows_examined: int = 0
+    plans_considered: int = 0
+
+    def __len__(self) -> int:
+        return len(self.bindings)
+
+    def __iter__(self):
+        return iter(self.bindings)
+
+    def __bool__(self) -> bool:
+        return bool(self.bindings)
+
+    def first(self) -> dict[str, Any] | None:
+        """The first binding, or None if the result is empty."""
+        return self.bindings[0] if self.bindings else None

@@ -1,0 +1,182 @@
+"""A write-ahead log for the relational store.
+
+The quantum database achieves durability of *pending* resource transactions
+by serialising them into a pending-transactions table before commit (paper,
+Section 4, "Recovery").  That table lives in the ordinary relational store,
+so the store itself needs a recovery story: this module provides a minimal
+physiological WAL — ordered records of row-level inserts and deletes tagged
+with transaction ids and commit/abort markers — plus an in-memory "stable
+storage" abstraction that recovery replays.
+
+The log is deliberately simple (no checkpoints, no fuzzy snapshots): its job
+in the reproduction is to make the crash-recovery path of the quantum
+database testable end-to-end, not to compete with InnoDB.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.errors import RecoveryError
+
+
+class LogRecordType(enum.Enum):
+    """Kinds of WAL records."""
+
+    BEGIN = "BEGIN"
+    INSERT = "INSERT"
+    DELETE = "DELETE"
+    COMMIT = "COMMIT"
+    ABORT = "ABORT"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """A single WAL record.
+
+    Attributes:
+        lsn: log sequence number (monotonically increasing).
+        record_type: the record kind.
+        transaction_id: id of the transaction that produced the record.
+        table: affected table (INSERT/DELETE records only).
+        values: affected row values (INSERT/DELETE records only).
+    """
+
+    lsn: int
+    record_type: LogRecordType
+    transaction_id: int
+    table: str | None = None
+    values: tuple[Any, ...] | None = None
+
+    def to_json(self) -> str:
+        """Serialise the record to a JSON line (for durability tests)."""
+        return json.dumps(
+            {
+                "lsn": self.lsn,
+                "type": self.record_type.value,
+                "txn": self.transaction_id,
+                "table": self.table,
+                "values": list(self.values) if self.values is not None else None,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "LogRecord":
+        """Parse a record previously produced by :meth:`to_json`."""
+        try:
+            data = json.loads(line)
+            return cls(
+                lsn=data["lsn"],
+                record_type=LogRecordType(data["type"]),
+                transaction_id=data["txn"],
+                table=data["table"],
+                values=tuple(data["values"]) if data["values"] is not None else None,
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise RecoveryError(f"malformed log record: {line!r}") from exc
+
+
+class WriteAheadLog:
+    """An append-only, in-memory write-ahead log.
+
+    The log survives "crashes" simulated by discarding the
+    :class:`~repro.relational.database.Database` object while keeping the
+    log; :func:`repro.relational.recovery.recover_database` then rebuilds the
+    store.  The log can also round-trip through JSON lines to exercise real
+    persistence in tests.
+    """
+
+    def __init__(self) -> None:
+        self._records: list[LogRecord] = []
+        self._lsn = itertools.count(1)
+
+    # -- append -------------------------------------------------------------
+
+    def append(
+        self,
+        record_type: LogRecordType,
+        transaction_id: int,
+        table: str | None = None,
+        values: Sequence[Any] | None = None,
+    ) -> LogRecord:
+        """Append a record and return it."""
+        record = LogRecord(
+            lsn=next(self._lsn),
+            record_type=record_type,
+            transaction_id=transaction_id,
+            table=table,
+            values=tuple(values) if values is not None else None,
+        )
+        self._records.append(record)
+        return record
+
+    def log_begin(self, transaction_id: int) -> LogRecord:
+        """Record the start of a transaction."""
+        return self.append(LogRecordType.BEGIN, transaction_id)
+
+    def log_insert(
+        self, transaction_id: int, table: str, values: Sequence[Any]
+    ) -> LogRecord:
+        """Record a row insert."""
+        return self.append(LogRecordType.INSERT, transaction_id, table, values)
+
+    def log_delete(
+        self, transaction_id: int, table: str, values: Sequence[Any]
+    ) -> LogRecord:
+        """Record a row delete."""
+        return self.append(LogRecordType.DELETE, transaction_id, table, values)
+
+    def log_commit(self, transaction_id: int) -> LogRecord:
+        """Record a transaction commit (the durability point)."""
+        return self.append(LogRecordType.COMMIT, transaction_id)
+
+    def log_abort(self, transaction_id: int) -> LogRecord:
+        """Record a transaction abort."""
+        return self.append(LogRecordType.ABORT, transaction_id)
+
+    # -- read ---------------------------------------------------------------
+
+    def records(self) -> tuple[LogRecord, ...]:
+        """All records in LSN order."""
+        return tuple(self._records)
+
+    def committed_transaction_ids(self) -> frozenset[int]:
+        """Ids of all transactions with a COMMIT record."""
+        return frozenset(
+            r.transaction_id
+            for r in self._records
+            if r.record_type is LogRecordType.COMMIT
+        )
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self._records)
+
+    # -- persistence --------------------------------------------------------
+
+    def dump(self) -> str:
+        """Serialise the whole log as JSON lines."""
+        return "\n".join(record.to_json() for record in self._records)
+
+    @classmethod
+    def load(cls, text: str) -> "WriteAheadLog":
+        """Rebuild a log from :meth:`dump` output."""
+        log = cls()
+        records = [
+            LogRecord.from_json(line) for line in text.splitlines() if line.strip()
+        ]
+        records.sort(key=lambda r: r.lsn)
+        log._records = records
+        last = records[-1].lsn if records else 0
+        log._lsn = itertools.count(last + 1)
+        return log
+
+    def truncate(self) -> None:
+        """Discard all records (used after a full snapshot)."""
+        self._records.clear()

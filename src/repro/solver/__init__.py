@@ -1,0 +1,43 @@
+"""Satisfiability machinery.
+
+The quantum database must maintain the invariant that every composed
+transaction body has at least one grounding over the extensional database.
+The paper's prototype checks this with ``LIMIT 1`` SQL joins and discusses
+SMT solvers as future work.  This subpackage provides:
+
+* :mod:`.grounding` — the workhorse: a backtracking grounding search that
+  evaluates a composed-body :class:`~repro.logic.formula.Formula` directly
+  against a :class:`~repro.relational.database.Database`, using its indexes
+  for candidate generation.  This is the direct analogue of the paper's
+  ``LIMIT 1`` probes and is what :class:`~repro.core.quantum_database.QuantumDatabase`
+  uses.
+* :mod:`.csp` / :mod:`.propagation` / :mod:`.backtracking` — a generic
+  finite-domain constraint-satisfaction solver (AC-3 + MRV backtracking),
+  used by the calendar example and the ablation benches.
+* :mod:`.sat` / :mod:`.randomsat` — a small DPLL SAT solver and a random
+  k-SAT generator, used to reproduce the Section 6 discussion of
+  satisfiability phase transitions.
+"""
+
+from repro.solver.backtracking import BacktrackingSolver
+from repro.solver.csp import Constraint, CSP, Domain
+from repro.solver.grounding import GroundingSearch, GroundingResult
+from repro.solver.propagation import ac3, forward_check
+from repro.solver.randomsat import random_ksat
+from repro.solver.sat import Clause, CNF, DPLLSolver, Literal
+
+__all__ = [
+    "BacktrackingSolver",
+    "CNF",
+    "CSP",
+    "Clause",
+    "Constraint",
+    "DPLLSolver",
+    "Domain",
+    "GroundingResult",
+    "GroundingSearch",
+    "Literal",
+    "ac3",
+    "forward_check",
+    "random_ksat",
+]

@@ -1,0 +1,137 @@
+"""Generic finite-domain constraint satisfaction problems.
+
+The quantum database's grounding search (:mod:`repro.solver.grounding`)
+talks to the relational store directly, but some application scenarios the
+paper motivates — calendar scheduling in particular — are naturally
+expressed as finite-domain CSPs.  This module provides a small, classical
+CSP model: variables with explicit domains and n-ary constraints given as
+predicates over a scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, Mapping, Sequence
+
+from repro.errors import InconsistentProblemError, SolverError
+
+#: A domain is an ordered collection of candidate values.
+Domain = tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """An n-ary constraint over a scope of variables.
+
+    Attributes:
+        scope: names of the constrained variables, in the order the
+            predicate expects them.
+        predicate: callable receiving one value per scope variable and
+            returning True when the combination is allowed.
+        name: optional label used in error messages and explanations.
+    """
+
+    scope: tuple[str, ...]
+    predicate: Callable[..., bool]
+    name: str = ""
+
+    def is_satisfied(self, assignment: Mapping[str, Any]) -> bool:
+        """Check the constraint if fully instantiated; True if not yet."""
+        if any(var not in assignment for var in self.scope):
+            return True
+        return bool(self.predicate(*(assignment[var] for var in self.scope)))
+
+    def __repr__(self) -> str:
+        label = self.name or "constraint"
+        return f"<{label} on {', '.join(self.scope)}>"
+
+
+class CSP:
+    """A finite-domain constraint satisfaction problem."""
+
+    def __init__(self) -> None:
+        self.domains: dict[str, Domain] = {}
+        self.constraints: list[Constraint] = []
+        self._by_variable: dict[str, list[Constraint]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_variable(self, name: str, domain: Iterable[Any]) -> None:
+        """Declare a variable with its domain.
+
+        Raises:
+            SolverError: if the variable already exists.
+            InconsistentProblemError: if the domain is empty.
+        """
+        if name in self.domains:
+            raise SolverError(f"variable {name!r} already declared")
+        values = tuple(domain)
+        if not values:
+            raise InconsistentProblemError(f"variable {name!r} has an empty domain")
+        self.domains[name] = values
+        self._by_variable.setdefault(name, [])
+
+    def add_constraint(
+        self,
+        scope: Sequence[str],
+        predicate: Callable[..., bool],
+        name: str = "",
+    ) -> Constraint:
+        """Add a constraint over ``scope``.
+
+        Raises:
+            SolverError: if a scope variable has not been declared.
+        """
+        for var in scope:
+            if var not in self.domains:
+                raise SolverError(f"constraint references unknown variable {var!r}")
+        constraint = Constraint(tuple(scope), predicate, name)
+        self.constraints.append(constraint)
+        for var in scope:
+            self._by_variable[var].append(constraint)
+        return constraint
+
+    def all_different(self, scope: Sequence[str], name: str = "all_different") -> None:
+        """Add pairwise inequality constraints over ``scope``."""
+        names = list(scope)
+        for i, left in enumerate(names):
+            for right in names[i + 1 :]:
+                self.add_constraint(
+                    (left, right), lambda a, b: a != b, name=f"{name}({left},{right})"
+                )
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        """Declared variable names, in declaration order."""
+        return tuple(self.domains)
+
+    def constraints_on(self, variable: str) -> tuple[Constraint, ...]:
+        """Constraints whose scope includes ``variable``."""
+        return tuple(self._by_variable.get(variable, ()))
+
+    def neighbors(self, variable: str) -> frozenset[str]:
+        """Variables sharing at least one constraint with ``variable``."""
+        related: set[str] = set()
+        for constraint in self.constraints_on(variable):
+            related.update(constraint.scope)
+        related.discard(variable)
+        return frozenset(related)
+
+    def is_consistent(self, assignment: Mapping[str, Any]) -> bool:
+        """True if no fully instantiated constraint is violated."""
+        return all(c.is_satisfied(assignment) for c in self.constraints)
+
+    def is_complete(self, assignment: Mapping[str, Any]) -> bool:
+        """True if every variable is assigned."""
+        return all(var in assignment for var in self.domains)
+
+    def validate_solution(self, assignment: Mapping[str, Any]) -> bool:
+        """True if ``assignment`` is complete, in-domain and consistent."""
+        if not self.is_complete(assignment):
+            return False
+        for var, value in assignment.items():
+            if var in self.domains and value not in self.domains[var]:
+                return False
+        return self.is_consistent(assignment)

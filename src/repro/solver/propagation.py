@@ -1,0 +1,122 @@
+"""Constraint propagation: AC-3 arc consistency and forward checking.
+
+Both routines operate on *working domains* — a mutable mapping from variable
+name to the list of values still considered possible — so the backtracking
+solver can copy-and-prune cheaply at each choice point.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Mapping, MutableMapping
+
+from repro.solver.csp import CSP, Constraint
+
+#: Working domains used during search.
+WorkingDomains = MutableMapping[str, list[Any]]
+
+
+def initial_domains(csp: CSP) -> dict[str, list[Any]]:
+    """Copy the CSP's declared domains into mutable working domains."""
+    return {var: list(domain) for var, domain in csp.domains.items()}
+
+
+def _binary_constraints(csp: CSP) -> list[Constraint]:
+    """All constraints of arity exactly two (AC-3 only propagates these)."""
+    return [c for c in csp.constraints if len(c.scope) == 2]
+
+
+def _revise(
+    constraint: Constraint,
+    domains: WorkingDomains,
+    variable: str,
+) -> bool:
+    """Prune values of ``variable`` with no support under ``constraint``.
+
+    Returns True if the domain shrank.
+    """
+    first, second = constraint.scope
+    other = second if variable == first else first
+    revised = False
+    kept: list[Any] = []
+    for value in domains[variable]:
+        supported = False
+        for other_value in domains[other]:
+            assignment = {variable: value, other: other_value}
+            if constraint.is_satisfied(assignment):
+                supported = True
+                break
+        if supported:
+            kept.append(value)
+        else:
+            revised = True
+    if revised:
+        domains[variable] = kept
+    return revised
+
+
+def ac3(csp: CSP, domains: WorkingDomains | None = None) -> tuple[bool, dict[str, list[Any]]]:
+    """Enforce arc consistency over the binary constraints of ``csp``.
+
+    Args:
+        csp: the problem.
+        domains: working domains to prune; fresh copies of the declared
+            domains are used when omitted.
+
+    Returns:
+        ``(consistent, domains)`` where ``consistent`` is False if some
+        domain was emptied (the problem is unsatisfiable under these
+        domains).
+    """
+    working = dict(domains) if domains is not None else initial_domains(csp)
+    working = {var: list(values) for var, values in working.items()}
+    constraints = _binary_constraints(csp)
+    queue: deque[tuple[str, Constraint]] = deque(
+        (var, constraint) for constraint in constraints for var in constraint.scope
+    )
+    while queue:
+        variable, constraint = queue.popleft()
+        if _revise(constraint, working, variable):
+            if not working[variable]:
+                return False, working
+            for other_constraint in csp.constraints_on(variable):
+                if len(other_constraint.scope) != 2:
+                    continue
+                for neighbor in other_constraint.scope:
+                    if neighbor != variable:
+                        queue.append((neighbor, other_constraint))
+    return True, working
+
+
+def forward_check(
+    csp: CSP,
+    domains: WorkingDomains,
+    assignment: Mapping[str, Any],
+    variable: str,
+) -> tuple[bool, dict[str, list[Any]]]:
+    """Prune neighbours of ``variable`` after it was assigned.
+
+    For every constraint involving ``variable`` whose only unassigned scope
+    variable is some neighbour, values of that neighbour incompatible with
+    the current assignment are removed.
+
+    Returns:
+        ``(consistent, pruned_domains)``; ``consistent`` is False if a
+        neighbour's domain became empty.
+    """
+    working = {var: list(values) for var, values in domains.items()}
+    for constraint in csp.constraints_on(variable):
+        unassigned = [v for v in constraint.scope if v not in assignment]
+        if len(unassigned) != 1:
+            continue
+        neighbor = unassigned[0]
+        kept: list[Any] = []
+        for candidate in working[neighbor]:
+            trial = dict(assignment)
+            trial[neighbor] = candidate
+            if constraint.is_satisfied(trial):
+                kept.append(candidate)
+        working[neighbor] = kept
+        if not kept:
+            return False, working
+    return True, working

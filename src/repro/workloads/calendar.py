@@ -1,0 +1,170 @@
+"""Calendar-management scenario (Section 1's second motivating example).
+
+Mickey schedules a work offsite months in advance; a higher-priority meeting
+lands on the same slot at short notice; with a quantum database the offsite
+slot is not fixed until the evening before, so the late meeting causes no
+rescheduling cascade.
+
+This module provides:
+
+* a schema and generator for a meeting-slot database
+  (``FreeSlot(person, day, slot)``, ``Meetings(meeting, person, day, slot)``,
+  ``SameSlot(day, slot, day, slot)`` is unnecessary — co-attendance is
+  expressed by sharing variables);
+* :func:`make_meeting_request` — a resource transaction booking one common
+  free slot for two attendees (the organiser defers the concrete slot);
+* :func:`calendar_csp` — the same single-meeting placement problem expressed
+  as a finite-domain CSP, used by the calendar example and by tests that
+  cross-check the two formulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.resource_transaction import ResourceTransaction
+from repro.logic.atoms import Atom
+from repro.logic.terms import Constant, Variable
+from repro.relational.database import Database
+from repro.relational.datatypes import DataType
+from repro.relational.schema import Column
+from repro.solver.csp import CSP
+
+
+@dataclass(frozen=True)
+class CalendarSpec:
+    """Size parameters of a generated calendar database.
+
+    Attributes:
+        people: attendee names.
+        days: number of days in the horizon.
+        slots_per_day: bookable slots per day.
+    """
+
+    people: tuple[str, ...] = ("Mickey", "Donald", "Goofy")
+    days: int = 5
+    slots_per_day: int = 4
+
+    def slot_pairs(self) -> list[tuple[int, int]]:
+        """All (day, slot) combinations."""
+        return [
+            (day, slot)
+            for day in range(1, self.days + 1)
+            for slot in range(1, self.slots_per_day + 1)
+        ]
+
+
+def create_calendar_tables(database: Database) -> None:
+    """Declare the calendar schema."""
+    database.create_table(
+        "FreeSlot",
+        [
+            Column("person", DataType.TEXT),
+            Column("day", DataType.INTEGER),
+            Column("slot", DataType.INTEGER),
+        ],
+        key=["person", "day", "slot"],
+        indexes=[["person"], ["day", "slot"]],
+    )
+    database.create_table(
+        "Meetings",
+        [
+            Column("meeting", DataType.TEXT),
+            Column("person", DataType.TEXT),
+            Column("day", DataType.INTEGER),
+            Column("slot", DataType.INTEGER),
+        ],
+        key=["meeting", "person"],
+        indexes=[["person"], ["meeting"]],
+    )
+
+
+def populate_calendar(
+    database: Database, spec: CalendarSpec, *, busy: Iterable[tuple[str, int, int]] = ()
+) -> None:
+    """Mark every slot free for every person, except the ``busy`` triples."""
+    blocked = set(busy)
+    table = database.table("FreeSlot")
+    for person in spec.people:
+        for day, slot in spec.slot_pairs():
+            if (person, day, slot) not in blocked:
+                table.insert((person, day, slot))
+
+
+def build_calendar_database(
+    spec: CalendarSpec | None = None,
+    *,
+    busy: Iterable[tuple[str, int, int]] = (),
+) -> Database:
+    """Create and populate a calendar database in one call."""
+    spec = spec or CalendarSpec()
+    database = Database()
+    create_calendar_tables(database)
+    populate_calendar(database, spec, busy=busy)
+    return database
+
+
+def make_meeting_request(
+    meeting: str,
+    organiser: str,
+    attendee: str,
+    *,
+    preferred_day: int | None = None,
+) -> ResourceTransaction:
+    """A resource transaction booking a common free slot for two people.
+
+    The chosen day/slot is deferred; both attendees' free slots are
+    consumed.  A preferred day, when given, is OPTIONAL — the meeting lands
+    on that day if possible but is not blocked by it.
+    """
+    day, slot = Variable("day"), Variable("slot")
+    body: list[Atom] = [
+        Atom.body("FreeSlot", [Constant(organiser), day, slot]),
+        Atom.body("FreeSlot", [Constant(attendee), day, slot]),
+    ]
+    if preferred_day is not None:
+        body.append(
+            Atom.body("FreeSlot", [Constant(organiser), Constant(preferred_day), slot], optional=True)
+        )
+    updates = [
+        Atom.delete("FreeSlot", [Constant(organiser), day, slot]),
+        Atom.delete("FreeSlot", [Constant(attendee), day, slot]),
+        Atom.insert("Meetings", [Constant(meeting), Constant(organiser), day, slot]),
+        Atom.insert("Meetings", [Constant(meeting), Constant(attendee), day, slot]),
+    ]
+    return ResourceTransaction(
+        body=tuple(body), updates=tuple(updates), client=organiser, partner=attendee
+    )
+
+
+def calendar_csp(
+    database: Database, meetings: Sequence[tuple[str, str, str]]
+) -> CSP:
+    """The meeting-placement problem as a finite-domain CSP.
+
+    Args:
+        database: a calendar database (``FreeSlot`` table).
+        meetings: ``(meeting, organiser, attendee)`` triples; each meeting
+            gets one variable whose domain is the (day, slot) pairs free for
+            both attendees, with an all-different constraint per shared
+            attendee (a person cannot be in two meetings at once).
+
+    Used to cross-check the quantum database's groundings on the calendar
+    example: any grounding the quantum database picks must be a solution of
+    this CSP.
+    """
+    free: dict[str, set[tuple[int, int]]] = {}
+    for row in database.table("FreeSlot"):
+        free.setdefault(row["person"], set()).add((row["day"], row["slot"]))
+    problem = CSP()
+    attendees: dict[str, list[str]] = {}
+    for meeting, organiser, attendee in meetings:
+        domain = sorted(free.get(organiser, set()) & free.get(attendee, set()))
+        problem.add_variable(meeting, domain)
+        attendees.setdefault(organiser, []).append(meeting)
+        attendees.setdefault(attendee, []).append(meeting)
+    for person, person_meetings in attendees.items():
+        if len(person_meetings) > 1:
+            problem.all_different(person_meetings, name=f"no-clash({person})")
+    return problem

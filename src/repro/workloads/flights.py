@@ -1,0 +1,186 @@
+"""Flight / seat databases for the travel scenario.
+
+"We artificially generate a database of flights over which the reservation
+requests are issued.  Each flight in our database is represented as a set of
+seats arranged in rows of three.  Each row has four possible adjacent pairs,
+only two of which can be booked simultaneously.  The number of rows per
+flight and the number of flights in the database are changed across
+experiments.  Appropriate indices are defined for each relation in the
+database." (Section 5.2)
+
+Schema:
+
+* ``Available(flight, seat)`` — seats not yet booked; key (flight, seat);
+* ``Bookings(passenger, flight, seat)`` — key (flight, seat), so two
+  passengers can never hold the same seat;
+* ``Adjacent(flight, seat1, seat2)`` — the four ordered adjacency pairs per
+  row (A–B, B–A, B–C, C–B for a row A/B/C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.relational.database import Database
+from repro.relational.datatypes import DataType
+from repro.relational.schema import Column
+
+#: Column letters of a three-seat row.
+ROW_LETTERS = ("A", "B", "C")
+
+
+@dataclass(frozen=True)
+class FlightDatabaseSpec:
+    """Size parameters of a generated flight database.
+
+    Attributes:
+        num_flights: number of flights (paper: 1 for Figures 5/6, 10–100 for
+            Figure 7, 40 for Figures 8/9).
+        rows_per_flight: seat rows per flight (paper: 34 for Figures 5/6, 50
+            elsewhere).
+        seats_per_row: fixed at 3 in the paper.
+        first_flight_number: flight numbers are consecutive integers
+            starting here.
+    """
+
+    num_flights: int = 1
+    rows_per_flight: int = 34
+    seats_per_row: int = 3
+    first_flight_number: int = 100
+
+    def __post_init__(self) -> None:
+        if self.num_flights < 1 or self.rows_per_flight < 1:
+            raise ValueError("a flight database needs at least one flight and one row")
+        if self.seats_per_row < 2 or self.seats_per_row > len(ROW_LETTERS):
+            raise ValueError("seats_per_row must be 2 or 3")
+
+    # -- derived quantities ---------------------------------------------------
+
+    @property
+    def seats_per_flight(self) -> int:
+        """Seats on one flight."""
+        return self.rows_per_flight * self.seats_per_row
+
+    @property
+    def total_seats(self) -> int:
+        """Seats across all flights."""
+        return self.num_flights * self.seats_per_flight
+
+    @property
+    def max_coordinating_users_per_flight(self) -> int:
+        """Maximum users per flight that can be seated adjacent to a partner.
+
+        "For a single flight ... with ten rows (10×3 seats), a maximum of
+        twenty coordination requests for adjacent seats can be accommodated":
+        each three-seat row hosts exactly one adjacent pair (two users).
+        """
+        return self.rows_per_flight * 2
+
+    @property
+    def max_coordinating_users(self) -> int:
+        """Maximum coordinating users across all flights."""
+        return self.num_flights * self.max_coordinating_users_per_flight
+
+    def flight_numbers(self) -> tuple[int, ...]:
+        """The generated flight numbers."""
+        return tuple(
+            self.first_flight_number + i for i in range(self.num_flights)
+        )
+
+    def seat_labels(self) -> tuple[str, ...]:
+        """Seat labels of one flight, row-major (``1A``, ``1B``, ...)."""
+        return tuple(
+            f"{row + 1}{ROW_LETTERS[col]}"
+            for row in range(self.rows_per_flight)
+            for col in range(self.seats_per_row)
+        )
+
+    def adjacency_pairs(self) -> Iterator[tuple[str, str]]:
+        """Ordered adjacency pairs of one flight (four per row of three)."""
+        for row in range(self.rows_per_flight):
+            labels = [
+                f"{row + 1}{ROW_LETTERS[col]}" for col in range(self.seats_per_row)
+            ]
+            for left, right in zip(labels, labels[1:]):
+                yield (left, right)
+                yield (right, left)
+
+
+def create_flight_tables(database: Database) -> None:
+    """Declare the ``Available`` / ``Bookings`` / ``Adjacent`` schema.
+
+    Secondary indexes mirror the paper's "appropriate indices ... for each
+    relation": flight-only lookups on availability and adjacency, and
+    passenger lookups on bookings.
+    """
+    database.create_table(
+        "Available",
+        [Column("flight", DataType.INTEGER), Column("seat", DataType.TEXT)],
+        key=["flight", "seat"],
+        indexes=[["flight"]],
+    )
+    database.create_table(
+        "Bookings",
+        [
+            Column("passenger", DataType.TEXT),
+            Column("flight", DataType.INTEGER),
+            Column("seat", DataType.TEXT),
+        ],
+        key=["flight", "seat"],
+        indexes=[["passenger"], ["flight"]],
+    )
+    database.create_table(
+        "Adjacent",
+        [
+            Column("flight", DataType.INTEGER),
+            Column("seat1", DataType.TEXT),
+            Column("seat2", DataType.TEXT),
+        ],
+        key=["flight", "seat1", "seat2"],
+        indexes=[["flight", "seat1"], ["flight", "seat2"]],
+    )
+
+
+def populate_flights(database: Database, spec: FlightDatabaseSpec) -> None:
+    """Fill the flight tables with all-available flights per ``spec``.
+
+    The load runs as one WAL-logged transaction so that crash recovery can
+    rebuild the initial state from the log alone.
+    """
+    with database.begin() as txn:
+        for flight in spec.flight_numbers():
+            for seat in spec.seat_labels():
+                txn.insert("Available", (flight, seat))
+            for seat1, seat2 in spec.adjacency_pairs():
+                txn.insert("Adjacent", (flight, seat1, seat2))
+
+
+def build_flight_database(
+    spec: FlightDatabaseSpec, database: Database | None = None
+) -> Database:
+    """Create schema and data in one call; returns the database."""
+    database = database or Database()
+    create_flight_tables(database)
+    populate_flights(database, spec)
+    return database
+
+
+def booked_adjacent_pairs(database: Database) -> set[frozenset[str]]:
+    """Pairs of passengers seated adjacently in the final state.
+
+    Used by the experiments to compute coordination percentages
+    independently of either system's own bookkeeping.
+    """
+    bookings = database.table("Bookings")
+    adjacent = database.table("Adjacent")
+    seat_to_passenger: dict[tuple[int, str], str] = {
+        (row["flight"], row["seat"]): row["passenger"] for row in bookings
+    }
+    pairs: set[frozenset[str]] = set()
+    for row in adjacent:
+        left = seat_to_passenger.get((row["flight"], row["seat1"]))
+        right = seat_to_passenger.get((row["flight"], row["seat2"]))
+        if left is not None and right is not None and left != right:
+            pairs.add(frozenset((left, right)))
+    return pairs

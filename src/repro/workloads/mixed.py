@@ -1,0 +1,150 @@
+"""Mixed read / resource-transaction workloads (Figures 8 and 9).
+
+"Next, we study the behavior of our system under realistic workloads which
+are a mix of resource and non-resource transactions.  The non-resource
+transactions are read queries by users who had earlier issued a resource
+transaction.  Unlike in normal databases, a non-resource read transaction
+on a quantum database can induce updates to the database by forcing
+grounding of pending resource transactions."
+
+A mixed workload is a sequence of operations, each either the submission of
+an entangled resource transaction or a read of some earlier user's booking.
+The read percentage controls how many of the total operations are reads.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.core.entanglement import EntangledResourceTransaction
+from repro.workloads.arrival_orders import ArrivalOrder
+from repro.workloads.entangled_workload import EntangledWorkload, generate_workload
+from repro.workloads.flights import FlightDatabaseSpec
+
+
+class OperationKind(enum.Enum):
+    """Kinds of operations in a mixed workload."""
+
+    RESOURCE = "RESOURCE"
+    READ = "READ"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One operation of a mixed workload.
+
+    Attributes:
+        kind: RESOURCE or READ.
+        transaction: the resource transaction (RESOURCE operations only).
+        read_client: the user whose booking is read (READ operations only).
+    """
+
+    kind: OperationKind
+    transaction: EntangledResourceTransaction | None = None
+    read_client: str | None = None
+
+
+@dataclass
+class MixedWorkload:
+    """A mixed workload plus the entangled workload it was derived from.
+
+    Attributes:
+        base: the underlying entangled workload (Random arrival order).
+        operations: the full operation sequence.
+        read_percentage: fraction of operations that are reads, in percent.
+    """
+
+    base: EntangledWorkload
+    operations: tuple[Operation, ...]
+    read_percentage: float
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    @property
+    def read_count(self) -> int:
+        """Number of read operations."""
+        return sum(1 for op in self.operations if op.kind is OperationKind.READ)
+
+    @property
+    def resource_count(self) -> int:
+        """Number of resource-transaction operations."""
+        return sum(1 for op in self.operations if op.kind is OperationKind.RESOURCE)
+
+
+def generate_mixed_workload(
+    spec: FlightDatabaseSpec,
+    read_percentage: float,
+    *,
+    total_operations: int | None = None,
+    seed: int = 0,
+) -> MixedWorkload:
+    """Generate a mixed workload with the given read percentage.
+
+    The resource transactions come from a Random-order entangled workload
+    over ``spec``; reads are interleaved uniformly at random after the first
+    operation, each targeting a user who has already issued their resource
+    transaction (as in the paper).
+
+    Args:
+        spec: flight database sizing.  When ``total_operations`` is omitted,
+            the resource-transaction count equals the number of seats and
+            reads are added on top so that they make up ``read_percentage``
+            of the total.
+        read_percentage: percentage (0–100) of operations that are reads.
+        total_operations: fix the total operation count (the paper fixes
+            6000); the resource/read split then follows the percentage and
+            the resource transactions are a prefix-sized subset of the
+            workload.
+        seed: RNG seed.
+    """
+    if not 0 <= read_percentage < 100:
+        raise ValueError("read_percentage must be in [0, 100)")
+    rng = random.Random(seed)
+    base = generate_workload(spec, ArrivalOrder.RANDOM, seed=seed)
+    transactions = list(base.transactions)
+    if total_operations is not None:
+        num_reads = round(total_operations * read_percentage / 100.0)
+        num_resources = total_operations - num_reads
+        if num_resources > len(transactions):
+            raise ValueError(
+                f"workload needs {num_resources} resource transactions but the "
+                f"flight database only supports {len(transactions)}"
+            )
+        transactions = transactions[:num_resources]
+    else:
+        num_resources = len(transactions)
+        num_reads = (
+            0
+            if read_percentage == 0
+            else round(num_resources * read_percentage / (100.0 - read_percentage))
+        )
+
+    operations: list[Operation] = [
+        Operation(OperationKind.RESOURCE, transaction=t) for t in transactions
+    ]
+    # Insert each read at a random position strictly after the first
+    # operation; the read targets a user whose transaction appears earlier
+    # in the final sequence.
+    for _ in range(num_reads):
+        position = rng.randint(1, len(operations))
+        earlier_clients = [
+            op.transaction.client
+            for op in operations[:position]
+            if op.kind is OperationKind.RESOURCE and op.transaction is not None
+        ]
+        if not earlier_clients:
+            earlier_clients = [transactions[0].client]
+        client = rng.choice(earlier_clients)
+        operations.insert(position, Operation(OperationKind.READ, read_client=client))
+    return MixedWorkload(
+        base=base,
+        operations=tuple(operations),
+        read_percentage=read_percentage,
+    )

@@ -1,0 +1,104 @@
+"""Tests for the intelligent-social and eager baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.eager import EagerClient
+from repro.baselines.intelligent_social import IntelligentSocialClient
+from repro import make_adjacent_seat_request
+from tests.conftest import make_tiny_flight_db
+
+
+class TestIntelligentSocial:
+    def test_books_adjacent_when_partner_present(self):
+        database = make_tiny_flight_db(seats=3)
+        client = IntelligentSocialClient(database)
+        first = client.book("Goofy", "Mickey", flight=123)
+        assert first.succeeded and not first.adjacent_to_partner
+        second = client.book("Mickey", "Goofy", flight=123)
+        assert second.adjacent_to_partner
+        assert client.coordinated_pairs() == 2
+        assert client.coordination_percentage() == 100.0
+
+    def test_keeps_neighbour_free_when_partner_absent(self):
+        database = make_tiny_flight_db(seats=3)
+        client = IntelligentSocialClient(database)
+        booking = client.book("Goofy", "Mickey", flight=123)
+        # The chosen seat must still have a free adjacent seat.
+        free = {row["seat"] for row in database.table("Available")}
+        adjacent = {
+            row["seat2"]
+            for row in database.table("Adjacent")
+            if row["seat1"] == booking.seat
+        }
+        assert adjacent & free
+
+    def test_falls_back_to_any_seat(self):
+        database = make_tiny_flight_db(seats=2)
+        client = IntelligentSocialClient(database)
+        client.book("A", None, flight=123)
+        client.book("B", None, flight=123)
+        # Flight now full: a partnered user books nothing.
+        result = client.book("C", "A", flight=123)
+        assert not result.succeeded
+
+    def test_early_booker_can_lose_coordination(self):
+        # The paper's motivating failure: without deferral, an interloper can
+        # take the seat the early booker was keeping for their friend.
+        database = make_tiny_flight_db(seats=3)
+        client = IntelligentSocialClient(database)
+        first = client.book("Goofy", "Mickey", flight=123)
+        # An unrelated walk-up takes the seat adjacent to Goofy.
+        adjacent = next(
+            row["seat2"]
+            for row in database.table("Adjacent")
+            if row["seat1"] == first.seat
+            and database.table("Available").get((123, row["seat2"])) is not None
+        )
+        with database.begin() as txn:
+            txn.delete("Available", (123, adjacent))
+            txn.insert("Bookings", ("Walkup", 123, adjacent))
+        second = client.book("Mickey", "Goofy", flight=123)
+        assert second.succeeded
+        coordination = client.coordination_percentage()
+        assert coordination < 100.0
+
+    def test_works_without_flight_pinning(self):
+        database = make_tiny_flight_db(seats=3)
+        client = IntelligentSocialClient(database)
+        booking = client.book("Mickey", None)
+        assert booking.succeeded and booking.flight == 123
+
+
+class TestEagerBaseline:
+    def test_executes_immediately(self):
+        database = make_tiny_flight_db(seats=3)
+        client = EagerClient(database)
+        result = client.execute(make_adjacent_seat_request("Mickey", "Goofy", flight=123))
+        assert result.executed
+        assert len(database.table("Bookings")) == 1
+
+    def test_cannot_coordinate_with_future_partner(self):
+        database = make_tiny_flight_db(seats=3)
+        client = EagerClient(database)
+        first = client.execute(make_adjacent_seat_request("Mickey", "Goofy", flight=123))
+        second = client.execute(make_adjacent_seat_request("Goofy", "Mickey", flight=123))
+        # Goofy (arriving second) can satisfy his preference; Mickey could not
+        # at the time he executed (his partner's booking did not exist yet).
+        assert not first.coordinated
+        assert second.satisfied_optionals == 2 and second.coordinated
+
+    def test_aborts_when_no_grounding(self):
+        database = make_tiny_flight_db(seats=1)
+        client = EagerClient(database)
+        assert client.execute(make_adjacent_seat_request("A", "B", flight=123)).executed
+        result = client.execute(make_adjacent_seat_request("B", "A", flight=123))
+        assert not result.executed
+
+    def test_coordination_percentage(self):
+        database = make_tiny_flight_db(seats=3)
+        client = EagerClient(database)
+        client.execute(make_adjacent_seat_request("Mickey", "Goofy", flight=123))
+        client.execute(make_adjacent_seat_request("Goofy", "Mickey", flight=123))
+        assert client.coordination_percentage() == 50.0

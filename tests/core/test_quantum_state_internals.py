@@ -1,0 +1,184 @@
+"""Tests for partitioning, the solution cache, grounding policy and recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.grounding_policy import GroundingPolicy, GroundingStrategy
+from repro.core.parser import parse_transaction
+from repro.core.quantum_database import QuantumConfig, QuantumDatabase
+from repro.core.recovery import PENDING_TABLE, PendingTransactionStore
+from repro.core.serializability import SerializabilityMode
+from repro.errors import QuantumError
+from repro.relational.recovery import recover_database
+from repro.workloads.flights import FlightDatabaseSpec, build_flight_database
+from tests.conftest import make_tiny_flight_db
+
+ANY_SEAT = "-Available({flight}, ?s), +Bookings('{name}', {flight}, ?s) :-1 Available({flight}, ?s)"
+
+
+def two_flight_db():
+    spec = FlightDatabaseSpec(num_flights=2, rows_per_flight=2, first_flight_number=100)
+    return build_flight_database(spec)
+
+
+class TestPartitioning:
+    def test_independent_flights_get_separate_partitions(self):
+        qdb = QuantumDatabase(two_flight_db())
+        qdb.execute(ANY_SEAT.format(name="Mickey", flight=100))
+        qdb.execute(ANY_SEAT.format(name="Goofy", flight=101))
+        assert len(qdb.state.partitions) == 2
+
+    def test_same_flight_shares_a_partition(self):
+        qdb = QuantumDatabase(two_flight_db())
+        qdb.execute(ANY_SEAT.format(name="Mickey", flight=100))
+        qdb.execute(ANY_SEAT.format(name="Goofy", flight=100))
+        assert len(qdb.state.partitions) == 1
+        assert qdb.state.partitions.partitions[0].transaction_ids()
+
+    def test_flexible_request_merges_partitions(self):
+        qdb = QuantumDatabase(two_flight_db())
+        qdb.execute(ANY_SEAT.format(name="Mickey", flight=100))
+        qdb.execute(ANY_SEAT.format(name="Goofy", flight=101))
+        # Donald does not care which flight: his atoms unify with both.
+        qdb.execute(
+            "-Available(?f, ?s), +Bookings('Donald', ?f, ?s) :-1 Available(?f, ?s)"
+        )
+        assert len(qdb.state.partitions) == 1
+        assert qdb.state.partitions.statistics.merges == 1
+
+    def test_partition_dropped_when_emptied(self):
+        qdb = QuantumDatabase(two_flight_db())
+        result = qdb.execute(ANY_SEAT.format(name="Mickey", flight=100))
+        qdb.ground([result.transaction_id])
+        assert len(qdb.state.partitions) == 0
+
+
+class TestSolutionCache:
+    def test_extension_hit_on_compatible_arrival(self):
+        qdb = QuantumDatabase(make_tiny_flight_db())
+        qdb.execute(ANY_SEAT.format(name="Mickey", flight=123))
+        qdb.execute(ANY_SEAT.format(name="Goofy", flight=123))
+        stats = qdb.state.cache.statistics
+        assert stats.extension_hits >= 1
+
+    def test_full_solve_when_extension_fails(self):
+        qdb = QuantumDatabase(make_tiny_flight_db(seats=2))
+        qdb.execute(ANY_SEAT.format(name="Mickey", flight=123))
+        qdb.execute(ANY_SEAT.format(name="Goofy", flight=123))
+        # Third user cannot fit: the cache records a failed full solve.
+        result = qdb.execute(ANY_SEAT.format(name="Pluto", flight=123))
+        assert not result.committed
+        assert qdb.state.cache.statistics.failures >= 1
+
+    def test_cached_solution_revalidated_after_write(self):
+        qdb = QuantumDatabase(make_tiny_flight_db(seats=3))
+        qdb.execute(ANY_SEAT.format(name="Mickey", flight=123))
+        partition = qdb.state.partitions.partitions[0]
+        cached_before = partition.cached_solution
+        assert cached_before is not None
+        seat = list(cached_before.as_valuation().values())
+        # Delete the exact seat the cached solution used; the write passes
+        # (other seats remain) but the cache must be refreshed.
+        seat_value = [v for v in cached_before.as_valuation().values() if isinstance(v, str)][0]
+        qdb.delete("Available", (123, seat_value))
+        assert partition.cached_solution is not None
+        assert qdb.state.cache.verify(
+            partition.composed_formula(), partition.cached_solution
+        )
+
+
+class TestGroundingPolicy:
+    def test_k_bound_forces_grounding_oldest_first(self):
+        qdb = QuantumDatabase(make_tiny_flight_db(seats=3), QuantumConfig(k=2))
+        first = qdb.execute(ANY_SEAT.format(name="Mickey", flight=123))
+        second = qdb.execute(ANY_SEAT.format(name="Goofy", flight=123))
+        third = qdb.execute(ANY_SEAT.format(name="Minnie", flight=123))
+        assert qdb.pending_count == 2
+        assert not qdb.state.is_pending(first.transaction_id)
+        assert qdb.state.is_pending(second.transaction_id)
+        assert qdb.state.is_pending(third.transaction_id)
+        record = qdb.state.grounded_results[first.transaction_id]
+        assert record.forced
+
+    def test_newest_first_strategy(self):
+        qdb = QuantumDatabase(
+            make_tiny_flight_db(seats=3),
+            QuantumConfig(k=2, strategy=GroundingStrategy.NEWEST_FIRST),
+        )
+        first = qdb.execute(ANY_SEAT.format(name="Mickey", flight=123))
+        second = qdb.execute(ANY_SEAT.format(name="Goofy", flight=123))
+        third = qdb.execute(ANY_SEAT.format(name="Minnie", flight=123))
+        assert not qdb.state.is_pending(third.transaction_id)
+        assert qdb.state.is_pending(first.transaction_id)
+
+    def test_invalid_k(self):
+        with pytest.raises(QuantumError):
+            GroundingPolicy(k=0)
+
+    def test_victims_empty_within_bound(self):
+        qdb = QuantumDatabase(make_tiny_flight_db(), QuantumConfig(k=5))
+        qdb.execute(ANY_SEAT.format(name="Mickey", flight=123))
+        policy = qdb.config.policy()
+        assert policy.victims(qdb.state.partitions.partitions[0]) == []
+
+
+class TestDurabilityAndRecovery:
+    def test_pending_table_tracks_lifecycle(self):
+        qdb = QuantumDatabase(make_tiny_flight_db())
+        result = qdb.execute(ANY_SEAT.format(name="Mickey", flight=123))
+        store = qdb.pending_store
+        assert result.transaction_id in store.pending_ids()
+        qdb.check_in(result.transaction_id)
+        assert result.transaction_id not in store.pending_ids()
+
+    def test_recover_rebuilds_quantum_state(self):
+        qdb = QuantumDatabase(make_tiny_flight_db())
+        kept = qdb.execute(ANY_SEAT.format(name="Mickey", flight=123))
+        grounded = qdb.execute(ANY_SEAT.format(name="Goofy", flight=123))
+        qdb.check_in(grounded.transaction_id)
+
+        # Simulate a crash: rebuild the extensional store from the WAL, then
+        # restore the quantum state from the pending-transactions table.
+        def schema_factory():
+            fresh = make_tiny_flight_db()
+            PendingTransactionStore(fresh)
+            return fresh
+
+        def schema_only():
+            from repro.relational.database import Database
+
+            fresh = Database()
+            fresh.create_table("Available", ["flight", "seat"], key=["flight", "seat"])
+            fresh.create_table(
+                "Bookings", ["passenger", "flight", "seat"], key=["flight", "seat"]
+            )
+            fresh.create_table(
+                "Adjacent", ["flight", "seat1", "seat2"], key=["flight", "seat1", "seat2"]
+            )
+            PendingTransactionStore(fresh)
+            return fresh
+
+        recovered_store = recover_database(schema_only, qdb.database.wal)
+        recovered = QuantumDatabase.recover(recovered_store, qdb.config)
+        assert recovered.pending_count == 1
+        assert recovered.state.is_pending(kept.transaction_id)
+        # Goofy's grounded booking survived; Mickey's guarantee still holds.
+        assert len(recovered.table("Bookings")) == 1
+        record = recovered.check_in(kept.transaction_id)
+        assert record is not None and record.valuation["s"]
+
+    def test_restore_reports_sequence_order(self):
+        qdb = QuantumDatabase(make_tiny_flight_db())
+        first = qdb.execute(ANY_SEAT.format(name="Mickey", flight=123))
+        second = qdb.execute(ANY_SEAT.format(name="Goofy", flight=123))
+        restored = qdb.pending_store.restore()
+        assert [txn.transaction_id for _seq, txn in restored] == [
+            first.transaction_id,
+            second.transaction_id,
+        ]
+        assert [txn.client for _seq, txn in restored] == [None, None]
+
+    def test_pending_table_exists(self):
+        qdb = QuantumDatabase(make_tiny_flight_db())
+        assert qdb.database.has_table(PENDING_TABLE)

@@ -1,0 +1,126 @@
+"""Tests for the composed-body formula AST."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FormulaError
+from repro.logic.atoms import Atom
+from repro.logic.formula import (
+    AtomFormula,
+    Conjunction,
+    Disjunction,
+    Equality,
+    FALSE,
+    Negation,
+    TRUE,
+    atoms_to_formula,
+    conjunction,
+    disjunction,
+)
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant, Variable
+
+X, Y = Variable("x"), Variable("y")
+
+#: Fact oracle over a tiny fixed set of facts.
+FACTS = {("A", (1, "s"))}
+
+
+def oracle(relation, values):
+    return (relation, tuple(values)) in FACTS
+
+
+class TestEvaluation:
+    def test_truth_constants(self):
+        assert TRUE.evaluate({}, oracle) is True
+        assert FALSE.evaluate({}, oracle) is False
+
+    def test_atom_formula(self):
+        formula = AtomFormula(Atom.body("A", [X, Y]))
+        assert formula.evaluate({"x": 1, "y": "s"}, oracle)
+        assert not formula.evaluate({"x": 2, "y": "s"}, oracle)
+
+    def test_missing_binding_raises(self):
+        formula = AtomFormula(Atom.body("A", [X, Y]))
+        with pytest.raises(FormulaError):
+            formula.evaluate({"x": 1}, oracle)
+
+    def test_equality(self):
+        assert Equality(X, Constant(3)).evaluate({"x": 3}, oracle)
+        assert not Equality(X, Y).evaluate({"x": 1, "y": 2}, oracle)
+
+    def test_connectives(self):
+        formula = conjunction(
+            [Equality(X, Constant(1)), disjunction([Equality(Y, Constant(2)), FALSE])]
+        )
+        assert formula.evaluate({"x": 1, "y": 2}, oracle)
+        assert not formula.evaluate({"x": 1, "y": 3}, oracle)
+
+    def test_negation(self):
+        assert Negation(Equality(X, Constant(1))).evaluate({"x": 2}, oracle)
+
+
+class TestIntrospection:
+    def test_free_variables(self):
+        formula = conjunction(
+            [AtomFormula(Atom.body("A", [X, 1])), Negation(Equality(Y, Constant(2)))]
+        )
+        assert formula.free_variables() == {X, Y}
+
+    def test_atoms_collection(self):
+        formula = conjunction(
+            [
+                AtomFormula(Atom.body("A", [X])),
+                disjunction([AtomFormula(Atom.body("B", [Y])), Equality(X, Y)]),
+            ]
+        )
+        assert {a.relation for a in formula.atoms()} == {"A", "B"}
+
+    def test_substitute(self):
+        formula = conjunction(
+            [AtomFormula(Atom.body("A", [X, Y])), Equality(X, Constant(1))]
+        )
+        grounded = formula.substitute(Substitution({X: 1, Y: "s"}))
+        assert grounded.free_variables() == frozenset()
+        assert grounded.evaluate({}, oracle)
+
+
+class TestSimplification:
+    def test_conjunction_flattening_and_units(self):
+        formula = Conjunction((TRUE, Conjunction((Equality(X, Constant(1)), TRUE))))
+        simplified = formula.simplify()
+        assert simplified == Equality(X, Constant(1))
+
+    def test_conjunction_with_false(self):
+        assert Conjunction((Equality(X, Constant(1)), FALSE)).simplify() is FALSE
+
+    def test_disjunction_with_true(self):
+        assert Disjunction((Equality(X, Constant(1)), TRUE)).simplify() is TRUE
+
+    def test_empty_connectives(self):
+        assert Conjunction(()).simplify() is TRUE
+        assert Disjunction(()).simplify() is FALSE
+
+    def test_double_negation(self):
+        inner = Equality(X, Constant(1))
+        assert Negation(Negation(inner)).simplify() == inner
+
+    def test_constant_equality_folding(self):
+        assert Equality(Constant(1), Constant(1)).simplify() is TRUE
+        assert Equality(Constant(1), Constant(2)).simplify() is FALSE
+        assert Equality(X, X).simplify() is TRUE
+
+    def test_atoms_to_formula(self):
+        formula = atoms_to_formula(
+            [Atom.insert("A", [X]), Atom.body("B", [Y], optional=True)]
+        )
+        # Update atoms are viewed as plain body atoms; flags are dropped.
+        assert all(a.kind.name == "BODY" for a in formula.atoms())
+
+    def test_operator_overloads(self):
+        formula = Equality(X, Constant(1)) & Equality(Y, Constant(2))
+        assert isinstance(formula, Conjunction)
+        formula = Equality(X, Constant(1)) | Equality(Y, Constant(2))
+        assert isinstance(formula, Disjunction)
+        assert isinstance(~TRUE, Negation)

@@ -1,0 +1,104 @@
+"""Tests for terms and relational atoms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LogicError
+from repro.logic.atoms import Atom, AtomKind, atoms_variables
+from repro.logic.terms import Constant, Variable, as_term, fresh_variable, is_ground
+
+
+class TestTerms:
+    def test_variable_identity(self):
+        assert Variable("s1") == Variable("s1")
+        assert Variable("s1") != Variable("s2")
+        assert hash(Variable("s1")) == hash(Variable("s1"))
+
+    def test_variable_requires_name(self):
+        with pytest.raises(LogicError):
+            Variable("")
+
+    def test_constant_wraps_values(self):
+        assert Constant(5).value == 5
+        assert Constant("Mickey") == Constant("Mickey")
+
+    def test_constant_rejects_nested_terms(self):
+        with pytest.raises(LogicError):
+            Constant(Variable("x"))
+
+    def test_as_term(self):
+        assert as_term(5) == Constant(5)
+        assert as_term(Variable("x")) == Variable("x")
+        assert as_term(Constant("y")) == Constant("y")
+
+    def test_fresh_variables_unique(self):
+        names = {fresh_variable().name for _ in range(100)}
+        assert len(names) == 100
+
+    def test_is_ground(self):
+        assert is_ground(Constant(1))
+        assert not is_ground(Variable("x"))
+
+    def test_rename(self):
+        assert Variable("s").rename("@3") == Variable("s@3")
+
+
+class TestAtoms:
+    def test_constructors_and_kinds(self):
+        body = Atom.body("Available", [Variable("f"), Variable("s")])
+        insert = Atom.insert("Bookings", ["Mickey", Variable("f"), Variable("s")])
+        delete = Atom.delete("Available", [Variable("f"), Variable("s")])
+        assert body.kind is AtomKind.BODY
+        assert insert.kind is AtomKind.INSERT
+        assert delete.kind is AtomKind.DELETE
+
+    def test_plain_values_coerced_to_constants(self):
+        atom = Atom.body("Bookings", ["Mickey", 123, Variable("s")])
+        assert atom.terms[0] == Constant("Mickey")
+        assert atom.terms[1] == Constant(123)
+
+    def test_optional_only_for_body(self):
+        Atom("R", (Constant(1),), AtomKind.BODY, optional=True)
+        with pytest.raises(LogicError):
+            Atom("R", (Constant(1),), AtomKind.INSERT, optional=True)
+
+    def test_variables_and_constants(self):
+        atom = Atom.body("R", [Variable("x"), 1, Variable("x"), "a"])
+        assert atom.variables() == {Variable("x")}
+        assert atom.constants() == {Constant(1), Constant("a")}
+
+    def test_ground_values(self):
+        atom = Atom.insert("R", [1, "a"])
+        assert atom.is_ground()
+        assert atom.ground_values() == (1, "a")
+        with pytest.raises(LogicError):
+            Atom.body("R", [Variable("x")]).ground_values()
+
+    def test_rename_variables(self):
+        atom = Atom.body("R", [Variable("x"), 1])
+        renamed = atom.rename_variables("@7")
+        assert renamed.terms[0] == Variable("x@7")
+        assert renamed.terms[1] == Constant(1)
+
+    def test_as_body_strips_kind_and_optional(self):
+        insert = Atom.insert("R", [1])
+        assert insert.as_body().kind is AtomKind.BODY
+        optional = Atom.body("R", [1], optional=True)
+        assert optional.as_body().optional is False
+
+    def test_atoms_variables(self):
+        atoms = [
+            Atom.body("R", [Variable("x"), Variable("y")]),
+            Atom.body("S", [Variable("y"), Variable("z")]),
+        ]
+        assert atoms_variables(atoms) == {Variable("x"), Variable("y"), Variable("z")}
+
+    def test_arity_and_repr(self):
+        atom = Atom.delete("Available", [Variable("f"), Variable("s")])
+        assert atom.arity == 2
+        assert repr(atom).startswith("-Available(")
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(LogicError):
+            Atom.body("", [1])

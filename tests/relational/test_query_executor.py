@@ -1,0 +1,158 @@
+"""Tests for conjunctive query planning and execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import JoinLimitExceededError, SchemaError, UnknownTableError
+from repro.relational.conditions import ColumnRef, Comparison, Constant
+from repro.relational.database import Database
+from repro.relational.planner import Planner, PlannerConfig
+from repro.relational.query import ConjunctiveQuery, Var
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    database.create_table("Available", ["flight", "seat"], key=["flight", "seat"], indexes=[["flight"]])
+    database.create_table("Bookings", ["passenger", "flight", "seat"], key=["flight", "seat"])
+    database.create_table("Adjacent", ["flight", "seat1", "seat2"], key=["flight", "seat1", "seat2"])
+    for seat in ("1A", "1B", "1C"):
+        database.insert("Available", (1, seat))
+    for seat in ("1A", "1B"):
+        database.insert("Available", (2, seat))
+    database.insert("Bookings", ("Goofy", 1, "1B"))
+    for left, right in (("1A", "1B"), ("1B", "1A"), ("1B", "1C"), ("1C", "1B")):
+        database.insert("Adjacent", (1, left, right))
+    return database
+
+
+class TestSingleAtomQueries:
+    def test_select_all_variables(self, db):
+        query = ConjunctiveQuery()
+        query.add_atom("Available", [1, Var("s")])
+        result = db.execute(query)
+        assert {b["s"] for b in result} == {"1A", "1B", "1C"}
+
+    def test_constants_filter(self, db):
+        query = ConjunctiveQuery()
+        query.add_atom("Available", [2, Var("s")])
+        assert len(db.execute(query)) == 2
+
+    def test_limit(self, db):
+        query = ConjunctiveQuery(limit=1)
+        query.add_atom("Available", [Var("f"), Var("s")])
+        assert len(db.execute(query)) == 1
+
+    def test_projection(self, db):
+        query = ConjunctiveQuery(select=["f"])
+        query.add_atom("Available", [Var("f"), Var("s")])
+        bindings = db.execute(query).bindings
+        assert all(set(b) == {"f"} for b in bindings)
+
+    def test_exists(self, db):
+        query = ConjunctiveQuery()
+        query.add_atom("Bookings", ["Goofy", Var("f"), Var("s")])
+        assert db.exists(query)
+        query2 = ConjunctiveQuery()
+        query2.add_atom("Bookings", ["Mickey", Var("f"), Var("s")])
+        assert not db.exists(query2)
+
+    def test_repeated_variable_in_atom(self, db):
+        db.insert("Adjacent", (1, "1X", "1X"))
+        query = ConjunctiveQuery()
+        query.add_atom("Adjacent", [Var("f"), Var("s"), Var("s")])
+        result = db.execute(query)
+        assert len(result) == 1 and result.first()["s"] == "1X"
+
+
+class TestJoins:
+    def test_two_way_join(self, db):
+        # Available seats adjacent to Goofy's booking on the same flight.
+        query = ConjunctiveQuery(select=["s"])
+        query.add_atom("Bookings", ["Goofy", Var("f"), Var("g")])
+        query.add_atom("Adjacent", [Var("f"), Var("s"), Var("g")])
+        query.add_atom("Available", [Var("f"), Var("s")])
+        result = db.execute(query)
+        assert {b["s"] for b in result} == {"1A", "1C"}
+
+    def test_negated_atom_anti_join(self, db):
+        # Seats on flight 1 that are NOT booked.
+        query = ConjunctiveQuery(select=["s"])
+        query.add_atom("Available", [1, Var("s")])
+        query.add_atom("Bookings", [Var("p"), 1, Var("s")], negated=True)
+        # Unsafe: p only occurs in the negated atom.
+        with pytest.raises(SchemaError):
+            db.execute(query)
+
+    def test_negated_atom_safe(self, db):
+        db.insert("Available", (1, "1B-dup")) if False else None
+        query = ConjunctiveQuery(select=["s"])
+        query.add_atom("Available", [1, Var("s")])
+        query.add_atom("Bookings", ["Goofy", 1, Var("s")], negated=True)
+        result = db.execute(query)
+        assert {b["s"] for b in result} == {"1A", "1C"}
+
+    def test_condition(self, db):
+        query = ConjunctiveQuery(
+            select=["s"],
+            condition=Comparison("!=", ColumnRef("s"), Constant("1A")),
+        )
+        query.add_atom("Available", [1, Var("s")])
+        assert {b["s"] for b in db.execute(query)} == {"1B", "1C"}
+
+    def test_cross_product_when_no_shared_variables(self, db):
+        query = ConjunctiveQuery(select=["s", "g"])
+        query.add_atom("Available", [2, Var("s")])
+        query.add_atom("Bookings", ["Goofy", 1, Var("g")])
+        assert len(db.execute(query)) == 2
+
+
+class TestPlanner:
+    def test_unknown_table(self, db):
+        query = ConjunctiveQuery()
+        query.add_atom("Nope", [Var("x")])
+        with pytest.raises(UnknownTableError):
+            db.execute(query)
+
+    def test_join_limit(self, db):
+        config = PlannerConfig(search_depth=3, join_limit=2)
+        planner = Planner(config)
+        query = ConjunctiveQuery()
+        for _ in range(3):
+            query.add_atom("Available", [Var("f"), Var("s")])
+        with pytest.raises(JoinLimitExceededError):
+            planner.plan(db, query)
+
+    def test_plan_orders_selective_atom_first(self, db):
+        planner = Planner(PlannerConfig(search_depth=10))
+        query = ConjunctiveQuery()
+        scan_atom = query.add_atom("Available", [Var("f"), Var("s")])
+        keyed_atom = query.add_atom("Bookings", ["Goofy", Var("f"), Var("g")])
+        plan = planner.plan(db, query)
+        assert plan.order[0] is keyed_atom
+        assert plan.order[1] is scan_atom
+
+    def test_negated_atoms_placed_after_binding(self, db):
+        planner = Planner()
+        query = ConjunctiveQuery()
+        query.add_atom("Available", [1, Var("s")])
+        neg = query.add_atom("Bookings", ["Goofy", 1, Var("s")], negated=True)
+        plan = planner.plan(db, query)
+        assert plan.order[-1] is neg
+
+    def test_search_depth_must_be_positive(self):
+        from repro.errors import PlannerError
+
+        with pytest.raises(PlannerError):
+            PlannerConfig(search_depth=0)
+
+    def test_query_must_have_atoms(self, db):
+        with pytest.raises(SchemaError):
+            db.execute(ConjunctiveQuery())
+
+    def test_rows_examined_reported(self, db):
+        query = ConjunctiveQuery()
+        query.add_atom("Available", [Var("f"), Var("s")])
+        result = db.execute(query)
+        assert result.rows_examined >= len(result)

@@ -1,0 +1,138 @@
+"""Tests for table schemas and rows (keys, validation, projections)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchemaError, UnknownColumnError
+from repro.relational.datatypes import DataType
+from repro.relational.row import Row
+from repro.relational.schema import Column, TableSchema
+
+
+@pytest.fixture
+def bookings_schema() -> TableSchema:
+    return TableSchema(
+        "Bookings",
+        [
+            Column("passenger", DataType.TEXT),
+            Column("flight", DataType.INTEGER),
+            Column("seat", DataType.TEXT),
+        ],
+        key=["flight", "seat"],
+    )
+
+
+class TestTableSchema:
+    def test_column_shorthand(self):
+        schema = TableSchema("T", ["a", "b"])
+        assert schema.column_names == ("a", "b")
+        assert all(c.datatype is DataType.ANY for c in schema.columns)
+
+    def test_whole_row_key_by_default(self):
+        schema = TableSchema("T", ["a", "b"])
+        assert schema.key == ("a", "b")
+
+    def test_explicit_key(self, bookings_schema):
+        assert bookings_schema.key == ("flight", "seat")
+        assert bookings_schema.key_positions == (1, 2)
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("T", ["a", "a"])
+
+    def test_unknown_key_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("T", ["a"], key=["b"])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("T", [])
+
+    def test_position_and_has_column(self, bookings_schema):
+        assert bookings_schema.position("seat") == 2
+        assert bookings_schema.has_column("flight")
+        assert not bookings_schema.has_column("price")
+        with pytest.raises(UnknownColumnError):
+            bookings_schema.position("price")
+
+    def test_validate_values_arity(self, bookings_schema):
+        with pytest.raises(SchemaError):
+            bookings_schema.validate_values(("Mickey", 1))
+
+    def test_values_from_mapping(self, bookings_schema):
+        values = bookings_schema.values_from_mapping(
+            {"seat": "5A", "passenger": "Mickey", "flight": 12}
+        )
+        assert values == ("Mickey", 12, "5A")
+
+    def test_values_from_mapping_unknown_column(self, bookings_schema):
+        with pytest.raises(UnknownColumnError):
+            bookings_schema.values_from_mapping({"price": 10})
+
+    def test_key_of(self, bookings_schema):
+        assert bookings_schema.key_of(("Mickey", 12, "5A")) == (12, "5A")
+
+    def test_equality_and_hash(self, bookings_schema):
+        clone = TableSchema(
+            "Bookings",
+            [
+                Column("passenger", DataType.TEXT),
+                Column("flight", DataType.INTEGER),
+                Column("seat", DataType.TEXT),
+            ],
+            key=["flight", "seat"],
+        )
+        assert clone == bookings_schema
+        assert hash(clone) == hash(bookings_schema)
+
+
+class TestColumn:
+    def test_not_nullable(self):
+        column = Column("flight", DataType.INTEGER, nullable=False)
+        with pytest.raises(SchemaError):
+            column.validate(None)
+
+    def test_invalid_name(self):
+        with pytest.raises(SchemaError):
+            Column("")
+
+
+class TestRow:
+    def test_access_by_name_and_position(self, bookings_schema):
+        row = Row(bookings_schema, ("Mickey", 12, "5A"))
+        assert row["passenger"] == "Mickey"
+        assert row[1] == 12
+        assert row.get("seat") == "5A"
+        assert row.get("missing", "x") == "x"
+
+    def test_key_and_table_name(self, bookings_schema):
+        row = Row(bookings_schema, ("Mickey", 12, "5A"))
+        assert row.key == (12, "5A")
+        assert row.table_name == "Bookings"
+
+    def test_as_dict_and_iteration(self, bookings_schema):
+        row = Row(bookings_schema, ("Mickey", 12, "5A"))
+        assert row.as_dict() == {"passenger": "Mickey", "flight": 12, "seat": "5A"}
+        assert list(row) == ["Mickey", 12, "5A"]
+        assert len(row) == 3
+
+    def test_replace(self, bookings_schema):
+        row = Row(bookings_schema, ("Mickey", 12, "5A"))
+        other = row.replace(seat="5B")
+        assert other["seat"] == "5B"
+        assert row["seat"] == "5A"
+
+    def test_equality_hash(self, bookings_schema):
+        row_a = Row(bookings_schema, ("Mickey", 12, "5A"))
+        row_b = Row(bookings_schema, ("Mickey", 12, "5A"))
+        row_c = Row(bookings_schema, ("Mickey", 12, "5B"))
+        assert row_a == row_b
+        assert hash(row_a) == hash(row_b)
+        assert row_a != row_c
+
+    def test_type_validation_applies(self, bookings_schema):
+        from repro.errors import TypeMismatchError
+
+        with pytest.raises(TypeMismatchError):
+            Row(bookings_schema, ("Mickey", "not-a-flight", "5A"))

@@ -1,0 +1,140 @@
+"""Tests for the finite-domain CSP model, propagation and backtracking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InconsistentProblemError, SolverError
+from repro.solver.backtracking import BacktrackingSolver
+from repro.solver.csp import CSP
+from repro.solver.propagation import ac3, forward_check, initial_domains
+
+
+def make_coloring_csp() -> CSP:
+    """3-coloring of a triangle plus a pendant vertex."""
+    problem = CSP()
+    for node in "abcd":
+        problem.add_variable(node, ["red", "green", "blue"])
+    edges = [("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")]
+    for left, right in edges:
+        problem.add_constraint((left, right), lambda x, y: x != y, name="≠")
+    return problem
+
+
+class TestCSPModel:
+    def test_duplicate_variable_rejected(self):
+        problem = CSP()
+        problem.add_variable("x", [1])
+        with pytest.raises(SolverError):
+            problem.add_variable("x", [2])
+
+    def test_empty_domain_rejected(self):
+        problem = CSP()
+        with pytest.raises(InconsistentProblemError):
+            problem.add_variable("x", [])
+
+    def test_constraint_on_unknown_variable(self):
+        problem = CSP()
+        problem.add_variable("x", [1])
+        with pytest.raises(SolverError):
+            problem.add_constraint(("x", "y"), lambda a, b: True)
+
+    def test_partial_assignments_not_violated(self):
+        problem = make_coloring_csp()
+        assert problem.is_consistent({"a": "red"})
+        assert not problem.is_consistent({"a": "red", "b": "red"})
+
+    def test_neighbors(self):
+        problem = make_coloring_csp()
+        assert problem.neighbors("c") == {"a", "b", "d"}
+
+    def test_validate_solution(self):
+        problem = make_coloring_csp()
+        solution = {"a": "red", "b": "green", "c": "blue", "d": "red"}
+        assert problem.validate_solution(solution)
+        assert not problem.validate_solution({**solution, "d": "blue"})
+        assert not problem.validate_solution({"a": "red"})
+
+
+class TestPropagation:
+    def test_ac3_prunes(self):
+        problem = CSP()
+        problem.add_variable("x", [1, 2, 3])
+        problem.add_variable("y", [3])
+        problem.add_constraint(("x", "y"), lambda a, b: a < b)
+        consistent, domains = ac3(problem)
+        assert consistent
+        assert set(domains["x"]) == {1, 2}
+
+    def test_ac3_detects_inconsistency(self):
+        problem = CSP()
+        problem.add_variable("x", [2, 3])
+        problem.add_variable("y", [1])
+        problem.add_constraint(("x", "y"), lambda a, b: a < b)
+        consistent, _domains = ac3(problem)
+        assert not consistent
+
+    def test_forward_check(self):
+        problem = make_coloring_csp()
+        domains = initial_domains(problem)
+        ok, pruned = forward_check(problem, domains, {"a": "red"}, "a")
+        assert ok
+        assert "red" not in pruned["b"]
+        assert "red" not in pruned["c"]
+        assert set(pruned["d"]) == {"red", "green", "blue"}
+
+
+class TestBacktrackingSolver:
+    def test_solves_coloring(self):
+        problem = make_coloring_csp()
+        solution = BacktrackingSolver().solve(problem)
+        assert solution is not None
+        assert problem.validate_solution(solution)
+
+    def test_unsatisfiable(self):
+        problem = CSP()
+        for node in "ab":
+            problem.add_variable(node, [1])
+        problem.add_constraint(("a", "b"), lambda x, y: x != y)
+        assert BacktrackingSolver().solve(problem) is None
+
+    def test_respects_initial_assignment(self):
+        problem = make_coloring_csp()
+        solution = BacktrackingSolver().solve(problem, initial={"a": "green"})
+        assert solution is not None and solution["a"] == "green"
+
+    def test_inconsistent_initial_assignment(self):
+        problem = make_coloring_csp()
+        solution = BacktrackingSolver().solve(
+            problem, initial={"a": "red", "b": "red"}
+        )
+        assert solution is None
+
+    def test_enumerate_all_solutions(self):
+        problem = CSP()
+        problem.add_variable("x", [1, 2])
+        problem.add_variable("y", [1, 2])
+        problem.add_constraint(("x", "y"), lambda a, b: a != b)
+        solutions = list(BacktrackingSolver().solutions(problem))
+        assert len(solutions) == 2
+
+    def test_max_solutions(self):
+        problem = CSP()
+        problem.add_variable("x", list(range(10)))
+        solver = BacktrackingSolver(max_solutions=3)
+        assert len(list(solver.solutions(problem))) == 3
+
+    def test_all_different_helper(self):
+        problem = CSP()
+        for name in ("x", "y", "z"):
+            problem.add_variable(name, [1, 2, 3])
+        problem.all_different(["x", "y", "z"])
+        solution = BacktrackingSolver(use_lcv=True).solve(problem)
+        assert solution is not None
+        assert len(set(solution.values())) == 3
+
+    def test_statistics_populated(self):
+        problem = make_coloring_csp()
+        solver = BacktrackingSolver()
+        solver.solve(problem)
+        assert solver.statistics.assignments > 0

@@ -1,0 +1,114 @@
+"""Tests for the DPLL SAT solver and random k-SAT generation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import SolverError
+from repro.solver.randomsat import CRITICAL_RATIO_3SAT, random_ksat, ratio_sweep
+from repro.solver.sat import CNF, Clause, DPLLSolver, Literal
+
+
+def lit(name: str, positive: bool = True) -> Literal:
+    return Literal(name, positive)
+
+
+class TestCNFModel:
+    def test_literal_negate(self):
+        assert lit("x").negate() == lit("x", False)
+
+    def test_clause_status(self):
+        clause = Clause((lit("x"), lit("y", False)))
+        assert clause.status({}) is None
+        assert clause.status({"x": True}) is True
+        assert clause.status({"x": False, "y": True}) is False
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(SolverError):
+            CNF([[]])
+
+    def test_variables(self):
+        cnf = CNF([[lit("x"), lit("y")], [lit("z", False)]])
+        assert cnf.variables() == {"x", "y", "z"}
+
+
+class TestDPLL:
+    def test_satisfiable_instance(self):
+        cnf = CNF([[lit("x"), lit("y")], [lit("x", False), lit("y")], [lit("y", False), lit("z")]])
+        assignment = DPLLSolver().solve(cnf)
+        assert assignment is not None
+        assert cnf.is_satisfied_by(assignment)
+
+    def test_unsatisfiable_instance(self):
+        cnf = CNF(
+            [
+                [lit("x"), lit("y")],
+                [lit("x"), lit("y", False)],
+                [lit("x", False), lit("y")],
+                [lit("x", False), lit("y", False)],
+            ]
+        )
+        assert DPLLSolver().solve(cnf) is None
+
+    def test_unit_propagation(self):
+        cnf = CNF([[lit("x")], [lit("x", False), lit("y")]])
+        solver = DPLLSolver()
+        assignment = solver.solve(cnf)
+        assert assignment == {"x": True, "y": True}
+        assert solver.statistics.unit_propagations >= 2
+
+    def test_assignment_completes_unconstrained_variables(self):
+        cnf = CNF([[lit("x"), lit("y")]])
+        assignment = DPLLSolver().solve(cnf)
+        assert assignment is not None
+        assert set(assignment) == {"x", "y"}
+
+    def test_agreement_with_bruteforce(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            cnf = random_ksat(4, rng.randint(4, 18), k=3, rng=rng)
+            variables = sorted(cnf.variables())
+            brute = False
+            for mask in range(2 ** len(variables)):
+                assignment = {
+                    var: bool(mask >> i & 1) for i, var in enumerate(variables)
+                }
+                if cnf.is_satisfied_by(assignment):
+                    brute = True
+                    break
+            assert DPLLSolver().is_satisfiable(cnf) == brute
+
+
+class TestRandomKSat:
+    def test_shape(self):
+        cnf = random_ksat(10, 30, k=3, rng=random.Random(0))
+        assert len(cnf) == 30
+        assert all(len(clause.literals) == 3 for clause in cnf.clauses)
+        assert all(
+            len({l.variable for l in clause.literals}) == 3 for clause in cnf.clauses
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SolverError):
+            random_ksat(2, 5, k=3)
+        with pytest.raises(SolverError):
+            random_ksat(0, 5)
+
+    def test_ratio_sweep(self):
+        instances = ratio_sweep(12, [1.0, CRITICAL_RATIO_3SAT, 8.0], seed=1)
+        assert [round(r, 2) for r, _ in instances] == [1.0, 4.27, 8.0]
+        assert len(instances[0][1]) == 12
+        assert len(instances[2][1]) == 96
+
+    def test_under_constrained_mostly_sat_over_constrained_mostly_unsat(self):
+        rng = random.Random(7)
+        easy_sat = sum(
+            DPLLSolver().is_satisfiable(random_ksat(15, 15, rng=rng)) for _ in range(10)
+        )
+        hard_unsat = sum(
+            DPLLSolver().is_satisfiable(random_ksat(15, 120, rng=rng)) for _ in range(10)
+        )
+        assert easy_sat >= 9
+        assert hard_unsat <= 1
