@@ -1,0 +1,24 @@
+# Developer entry points for the quantum-database reproduction.
+#
+#   make check   - tier-1 test suite plus a ~10 second benchmark smoke pass
+#   make test    - tier-1 test suite only (tests/)
+#   make smoke   - the smoke-marked benchmark subset (-m smoke)
+#   make bench   - the full benchmark suite (regenerates every figure/table)
+#
+# Set REPRO_BENCH_SCALE=paper for the paper-sized benchmark parameters.
+
+PYTHON ?= python
+PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
+
+.PHONY: check test smoke bench
+
+check: test smoke
+
+test:
+	$(PYTEST) -x -q tests
+
+smoke:
+	$(PYTEST) -q benchmarks -m smoke
+
+bench:
+	$(PYTEST) -q benchmarks

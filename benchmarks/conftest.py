@@ -17,6 +17,26 @@ import pytest
 #: "default" (scaled-down, minutes) or "paper" (the published sizes, hours).
 BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "default")
 
+def pytest_configure(config) -> None:
+    """Register the ``smoke`` marker (fast cases kept by ``-m smoke``)."""
+    config.addinivalue_line(
+        "markers",
+        "smoke: fast benchmark subset run by `make check` (select with -m smoke)",
+    )
+
+
+@pytest.fixture(scope="session")
+def smoke_run(request) -> bool:
+    """True when the run was restricted to the smoke subset (``-m smoke``).
+
+    Smoke-marked benchmarks shrink their parameters further so the whole
+    selection finishes in roughly ten seconds (the ``make check`` budget).
+    """
+    markexpr = request.config.getoption("markexpr", default="") or ""
+    # Exact match only: compound expressions like "not smoke" must not
+    # shrink parameters.
+    return markexpr.strip() == "smoke"
+
 
 @pytest.fixture(scope="session")
 def bench_scale() -> str:

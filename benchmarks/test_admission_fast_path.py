@@ -1,0 +1,133 @@
+"""Admission fast path — witness caching vs. from-scratch re-verification.
+
+Runs the Figure 7 scalability workload (Random arrival order, entangled
+pairs, per-flight partitioning) twice through the quantum database: once
+with the per-partition witness cache enabled (the incremental admission
+fast path) and once with it disabled (the seed behaviour: every admission
+re-verifies the partition's composed body).  The two runs must make
+identical accept/reject decisions — the fast path only changes *how much*
+re-search admission costs, which the solution-cache counters report:
+
+* ``composed_body_passes`` (verifications + full solves) must drop by at
+  least 2x with the cache enabled;
+* nearly every admission should be served from a witness (hits), with
+  fallback searches only on partition-opening admissions and genuine
+  invalidations.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, report
+from repro.core.quantum_database import QuantumConfig, QuantumDatabase
+from repro.experiments.figure7 import default_parameters, paper_parameters
+from repro.experiments.report import format_table
+from repro.workloads.arrival_orders import ArrivalOrder
+from repro.workloads.entangled_workload import generate_workload
+from repro.workloads.flights import FlightDatabaseSpec, build_flight_database
+
+
+def _parameters(smoke: bool):
+    if BENCH_SCALE == "paper":
+        return paper_parameters()
+    parameters = default_parameters()
+    if smoke:
+        # Trim the sweep so the whole smoke selection stays within the
+        # ~10 second `make check` budget.
+        return type(parameters)(
+            flight_counts=parameters.flight_counts[:2],
+            rows_per_flight=parameters.rows_per_flight,
+            ks=parameters.ks[:1],
+            seed=parameters.seed,
+        )
+    return parameters
+
+
+def _run(spec: FlightDatabaseSpec, *, k: int, seed: int, witness: bool, batch: bool):
+    """One Figure 7 sweep point; returns (decisions, statistics, seconds)."""
+    workload = generate_workload(spec, ArrivalOrder.RANDOM, seed=seed)
+    qdb = QuantumDatabase(
+        build_flight_database(spec),
+        QuantumConfig(k=k, witness_cache=witness),
+    )
+    start = time.perf_counter()
+    if batch:
+        results = qdb.commit_batch(list(workload.transactions))
+        decisions = [result.committed for result in results]
+    else:
+        decisions = [qdb.execute(t).committed for t in workload.transactions]
+    qdb.ground_all()
+    elapsed = time.perf_counter() - start
+    return decisions, qdb.statistics_report(), elapsed
+
+
+@pytest.mark.smoke
+def test_admission_fast_path(benchmark, smoke_run):
+    parameters = _parameters(smoke_run)
+    rows = []
+    total_on = total_off = 0
+
+    def sweep():
+        nonlocal total_on, total_off
+        for num_flights in parameters.flight_counts:
+            spec = FlightDatabaseSpec(
+                num_flights=num_flights, rows_per_flight=parameters.rows_per_flight
+            )
+            for k in parameters.ks:
+                cached, stats_on, time_on = _run(
+                    spec, k=k, seed=parameters.seed, witness=True, batch=False
+                )
+                seeded, stats_off, time_off = _run(
+                    spec, k=k, seed=parameters.seed, witness=False, batch=False
+                )
+                batched, stats_batch, time_batch = _run(
+                    spec, k=k, seed=parameters.seed, witness=True, batch=True
+                )
+                # Identical accept/reject decisions on the same stream: the
+                # witness cache is a pure fast path, and commit_batch is a
+                # pure batching of the same admissions.
+                assert cached == seeded == batched
+                passes_on = stats_on["cache.composed_body_passes"]
+                passes_off = stats_off["cache.composed_body_passes"]
+                rows.append(
+                    [
+                        num_flights,
+                        k,
+                        len(cached),
+                        passes_off,
+                        passes_on,
+                        stats_on["cache.witness_hits"],
+                        stats_on["cache.witness_invalidations"],
+                        time_off,
+                        time_on,
+                        time_batch,
+                    ]
+                )
+                total_on += passes_on
+                total_off += passes_off
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "Admission fast path (Figure 7 workload)",
+        format_table(
+            [
+                "#flights",
+                "k",
+                "#txns",
+                "passes off",
+                "passes on",
+                "hits",
+                "invalidations",
+                "off (s)",
+                "on (s)",
+                "batch (s)",
+            ],
+            rows,
+        ),
+    )
+    # The headline acceptance criterion: the witness cache performs at least
+    # 2x fewer full composed-body passes than the seed path.
+    assert total_on * 2 <= total_off, (total_on, total_off)

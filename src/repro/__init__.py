@@ -7,6 +7,19 @@ possible worlds non-empty through unification-based composition and
 satisfiability checks, and reads collapse exactly the uncertainty they
 touch.
 
+Admission runs on an *incremental fast path*: each partition's composed
+body is maintained factor-by-factor, and a per-partition witness (the last
+satisfying substitution together with the extensional rows it grounds on)
+lets the system skip re-verifying the composed body entirely until a write
+actually touches one of those rows.  ``QuantumDatabase.commit_batch``
+submits a sequence of resource transactions with one composition pass per
+partition and one durability write for the whole batch;
+``QuantumDatabase.cache_statistics`` / ``statistics_report()`` expose the
+witness-cache counters (hits, misses, invalidations, fallback searches)
+that the benchmarks report.  Set ``QuantumConfig(witness_cache=False)`` to
+measure the non-cached path — accept/reject decisions are identical either
+way.
+
 The top-level package re-exports the names most applications need; the
 subpackages are:
 
@@ -34,6 +47,7 @@ from repro.core.quantum_database import CommitResult, QuantumConfig, QuantumData
 from repro.core.reads import ReadMode, ReadRequest
 from repro.core.resource_transaction import ResourceTransaction
 from repro.core.serializability import SerializabilityMode
+from repro.core.solution_cache import SolutionCacheStatistics, Witness
 from repro.errors import (
     QuantumError,
     ReproError,
@@ -60,7 +74,9 @@ __all__ = [
     "ReproError",
     "ResourceTransaction",
     "SerializabilityMode",
+    "SolutionCacheStatistics",
     "TransactionRejected",
+    "Witness",
     "WriteRejected",
     "__version__",
     "format_transaction",

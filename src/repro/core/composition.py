@@ -164,6 +164,72 @@ def composed_body(
     return compose_sequence(transactions, include_optional=include_optional)
 
 
+class IncrementalComposition:
+    """A composed body maintained factor-by-factor (Theorem 3.5, online form).
+
+    :func:`compose_sequence` recomputes every rewritten factor on each call,
+    which makes re-checking a partition's invariant on every admission
+    quadratic in the number of pending transactions.  This class maintains
+    the same composed body incrementally: appending transaction ``n+1`` only
+    rewrites *its* body against the updates accumulated so far and conjoins
+    one new factor, so a whole admission sequence costs one composition pass
+    per partition in total.
+
+    The composed formula is identical (same factors, same order) to the one
+    :func:`compose_sequence` would produce for the underlying sequence; the
+    unit tests assert this equivalence.
+    """
+
+    def __init__(self, transactions: Iterable[ResourceTransaction] = ()) -> None:
+        self.factors: list[Formula] = []
+        self.accumulated_updates: list[Atom] = []
+        self._formula: Formula | None = None
+        for transaction in transactions:
+            self.append(transaction)
+
+    def preview_factor(self, transaction: ResourceTransaction) -> Formula:
+        """The factor ``transaction`` would contribute, without appending it.
+
+        This is the transaction's hard body rewritten against the updates
+        accumulated so far — exactly what admission needs for its
+        extend-or-solve check before committing to the append.
+        """
+        return rewrite_body_against_updates(
+            transaction.hard_body, self.accumulated_updates
+        )
+
+    def append(
+        self, transaction: ResourceTransaction, factor: Formula | None = None
+    ) -> Formula:
+        """Append a transaction, reusing ``factor`` if already computed.
+
+        Args:
+            transaction: the next transaction in serialization order (already
+                variable-renamed by the caller, like everywhere else in the
+                quantum state).
+            factor: the result of :meth:`preview_factor` for this
+                transaction, when the caller already computed it.
+
+        Returns:
+            The factor contributed by ``transaction``.
+        """
+        if factor is None:
+            factor = self.preview_factor(transaction)
+        self.factors.append(factor)
+        self.accumulated_updates.extend(transaction.updates)
+        self._formula = None
+        return factor
+
+    def formula(self) -> Formula:
+        """The composed body of everything appended so far (cached)."""
+        if self._formula is None:
+            self._formula = conjunction(self.factors) if self.factors else TRUE
+        return self._formula
+
+    def __len__(self) -> int:
+        return len(self.factors)
+
+
 @dataclass
 class CompositionReport:
     """Diagnostic view of a composition, used by tests and the examples.

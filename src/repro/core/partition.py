@@ -20,7 +20,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
-from repro.core.composition import compose_sequence
+from repro.core.composition import IncrementalComposition, compose_sequence
 from repro.logic.atoms import Atom
 from repro.logic.formula import Formula
 from repro.logic.substitution import Substitution
@@ -47,29 +47,48 @@ class Partition:
 
     def __init__(self, pending: Iterable["PendingTransaction"] = ()) -> None:
         self.partition_id = next(_partition_counter)
-        self.pending: list["PendingTransaction"] = list(pending)
+        self._pending: list["PendingTransaction"] = list(pending)
         self.cached_solution: Substitution | None = None
+        #: Incrementally maintained composed body (hard atoms only); rebuilt
+        #: lazily after structural changes (merges, groundings).
+        self._composition: IncrementalComposition | None = None
+
+    @property
+    def pending(self) -> tuple["PendingTransaction", ...]:
+        """Pending transactions in serialization order.
+
+        Returned as a tuple: the pending sequence may only change through
+        :meth:`append`, :meth:`remove` or whole-sequence assignment, all of
+        which keep the cached incremental composition in sync (in-place
+        mutation of a shared list would silently bypass that).
+        """
+        return tuple(self._pending)
+
+    @pending.setter
+    def pending(self, entries: Iterable["PendingTransaction"]) -> None:
+        self._pending = list(entries)
+        self._composition = None
 
     # -- introspection -------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self.pending)
+        return len(self._pending)
 
     def __iter__(self) -> Iterator["PendingTransaction"]:
-        return iter(self.pending)
+        return iter(self._pending)
 
     def transactions(self) -> tuple["PendingTransaction", ...]:
         """Pending transactions in serialization order."""
-        return tuple(self.pending)
+        return tuple(self._pending)
 
     def transaction_ids(self) -> tuple[int, ...]:
         """Ids of the pending transactions, in order."""
-        return tuple(p.transaction_id for p in self.pending)
+        return tuple(p.transaction_id for p in self._pending)
 
     def atoms(self) -> tuple[Atom, ...]:
         """Every atom (body and update) of every pending transaction."""
         collected: list[Atom] = []
-        for entry in self.pending:
+        for entry in self._pending:
             collected.extend(entry.renamed.body)
             collected.extend(entry.renamed.updates)
         return tuple(collected)
@@ -77,16 +96,31 @@ class Partition:
     def relations(self) -> frozenset[str]:
         """Names of all relations touched by the partition."""
         names: set[str] = set()
-        for entry in self.pending:
+        for entry in self._pending:
             names |= entry.renamed.relations()
         return frozenset(names)
 
+    def composition(self) -> IncrementalComposition:
+        """The incrementally maintained composition of the hard bodies.
+
+        Built lazily (one pass over the pending list) after structural
+        changes; kept up to date factor-by-factor by :meth:`append`, so the
+        steady-state admission path never recomposes from scratch.
+        """
+        if self._composition is None:
+            self._composition = IncrementalComposition(
+                entry.renamed for entry in self._pending
+            )
+        return self._composition
+
     def composed_formula(self, *, include_optional: bool = False) -> Formula:
         """The composed body of the pending transactions (Theorem 3.5)."""
-        return compose_sequence(
-            [entry.renamed for entry in self.pending],
-            include_optional=include_optional,
-        )
+        if include_optional:
+            return compose_sequence(
+                [entry.renamed for entry in self._pending],
+                include_optional=True,
+            )
+        return self.composition().formula()
 
     def composed_atom_count(self) -> int:
         """Number of relational atoms in the composed hard body.
@@ -111,13 +145,24 @@ class Partition:
 
     # -- mutation ------------------------------------------------------------
 
-    def append(self, entry: "PendingTransaction") -> None:
-        """Add a pending transaction at the end of the serialization order."""
-        self.pending.append(entry)
+    def append(self, entry: "PendingTransaction", factor: Formula | None = None) -> None:
+        """Add a pending transaction at the end of the serialization order.
+
+        Args:
+            entry: the pending transaction to append.
+            factor: its composed-body factor when admission already computed
+                it (via ``composition().preview_factor``); passing it keeps
+                the incremental composition warm without recomputing the
+                rewrite.
+        """
+        self._pending.append(entry)
+        if self._composition is not None:
+            self._composition.append(entry.renamed, factor)
 
     def remove(self, entry: "PendingTransaction") -> None:
         """Remove a pending transaction (after it has been grounded)."""
-        self.pending.remove(entry)
+        self._pending.remove(entry)
+        self._composition = None
 
     def invalidate_solution(self) -> None:
         """Drop the cached solution (after a write invalidated it)."""
@@ -134,8 +179,8 @@ class Partition:
         if self.cached_solution is None:
             return
         remaining = frozenset().union(
-            *(entry.renamed.variables() for entry in self.pending)
-        ) if self.pending else frozenset()
+            *(entry.renamed.variables() for entry in self._pending)
+        ) if self._pending else frozenset()
         self.cached_solution = self.cached_solution.restrict(remaining)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

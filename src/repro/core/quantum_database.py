@@ -69,6 +69,13 @@ class QuantumConfig:
         read_mode: default read semantics (the paper's choice: COLLAPSE).
         ground_on_partner_arrival: ground an entangled pair as soon as both
             partners are in the system (Section 5.1's execution policy).
+        witness_cache: enable the per-partition witness store that powers the
+            incremental admission fast path.  Disabling it reproduces the
+            seed behaviour (every admission re-verifies the whole composed
+            body); accept/reject decisions are identical either way, only
+            the amount of re-search differs — the cache statistics (witness
+            hits / misses / invalidations / fallback searches) report the
+            difference.
         planner: join-planner settings for the underlying store.
     """
 
@@ -77,6 +84,7 @@ class QuantumConfig:
     serializability: SerializabilityMode = SerializabilityMode.SEMANTIC
     read_mode: ReadMode = ReadMode.COLLAPSE
     ground_on_partner_arrival: bool = True
+    witness_cache: bool = True
     planner: PlannerConfig = field(default_factory=PlannerConfig)
 
     def policy(self) -> GroundingPolicy:
@@ -135,6 +143,7 @@ class QuantumDatabase:
             policy=self.config.policy(),
             serializability=self.config.serializability,
             on_grounded=self._handle_grounded,
+            witness_cache=self.config.witness_cache,
         )
 
     # ------------------------------------------------------------------
@@ -180,9 +189,14 @@ class QuantumDatabase:
 
     def load_rows(self, table: str, rows: Iterable[Sequence[Any]]) -> None:
         """Bulk-load initial data without write checks (setup convenience)."""
+        deltas = []
         with self.database.begin() as txn:
             for values in rows:
-                txn.insert(table, values)
+                row = txn.insert(table, values)
+                deltas.append((table, row.values, False))
+        # Inserts cannot invalidate a monotone witness, but keep the cache
+        # informed so the invariant holds even for exotic formulas.
+        self.state.cache.notify_deltas(deltas)
 
     # ------------------------------------------------------------------
     # Resource transactions
@@ -225,6 +239,73 @@ class QuantumDatabase:
             pending=self.state.is_pending(transaction.transaction_id),
             grounded=tuple(grounded),
         )
+
+    def commit_batch(
+        self,
+        transactions: Sequence[ResourceTransaction | str],
+        **parse_kwargs: Any,
+    ) -> list[CommitResult]:
+        """Submit a sequence of resource transactions as one batch.
+
+        Semantically equivalent to calling :meth:`execute` on each element in
+        order (admission order matters; a rejected transaction is skipped and
+        later ones still run), but cheaper:
+
+        * admission rides the incremental fast path — each partition's
+          composed body grows factor-by-factor, so the batch costs one
+          composition pass per partition instead of one recomposition per
+          transaction;
+        * durability is batched — every transaction still pending at the end
+          of the batch is persisted to the pending-transactions table in a
+          single store transaction (one WAL commit record for the whole
+          batch).
+
+        Returns:
+            One :class:`CommitResult` per submitted transaction, in order.
+        """
+        parsed: list[ResourceTransaction] = [
+            parse_transaction(t, **parse_kwargs) if isinstance(t, str) else t
+            for t in transactions
+        ]
+        results: list[CommitResult] = []
+        admitted: list[tuple[ResourceTransaction, int]] = []
+        for transaction in parsed:
+            try:
+                entry = self.state.admit(transaction)
+            except TransactionRejected as exc:
+                results.append(
+                    CommitResult(
+                        transaction=transaction,
+                        committed=False,
+                        rejection_reason=str(exc),
+                    )
+                )
+                continue
+            admitted.append((transaction, entry.sequence))
+            grounded: list[GroundedTransaction] = []
+            if not self.state.is_pending(transaction.transaction_id):
+                record = self.state.grounded_results.get(transaction.transaction_id)
+                if record is not None:
+                    grounded.append(record)
+            match = self.entanglement.register(transaction)
+            if match is not None and self.config.ground_on_partner_arrival:
+                grounded.extend(self.state.ground(match.transaction_ids()))
+            results.append(
+                CommitResult(
+                    transaction=transaction,
+                    committed=True,
+                    pending=self.state.is_pending(transaction.transaction_id),
+                    grounded=tuple(grounded),
+                )
+            )
+        self.pending_store.persist_many(
+            (transaction, sequence)
+            for transaction, sequence in admitted
+            if self.state.is_pending(transaction.transaction_id)
+        )
+        self.state.statistics.batches += 1
+        self.state.statistics.batch_transactions += len(parsed)
+        return results
 
     # ------------------------------------------------------------------
     # Reads
@@ -338,6 +419,35 @@ class QuantumDatabase:
     def statistics(self):
         """The quantum state's counters (admissions, groundings, ...)."""
         return self.state.statistics
+
+    @property
+    def cache_statistics(self):
+        """The solution cache's counters (witness hits, fallbacks, ...)."""
+        return self.state.cache.statistics
+
+    def statistics_report(self) -> dict[str, Any]:
+        """Every counter the system maintains, flattened for benchmarks.
+
+        Combines the quantum-state, solution-cache, partition and
+        grounding-search statistics into one ``section.counter`` → value
+        mapping, so experiment harnesses can diff configurations (e.g.
+        witness cache on vs. off) without reaching into internals.
+        """
+        report: dict[str, Any] = {}
+        sections = {
+            "state": self.state.statistics,
+            "cache": self.state.cache.statistics,
+            "partitions": self.state.partitions.statistics,
+            "search": self.state.cache.search.totals,
+        }
+        for section, stats in sections.items():
+            for name, value in vars(stats).items():
+                report[f"{section}.{name}"] = value
+        report["cache.composed_body_passes"] = (
+            self.state.cache.statistics.composed_body_passes()
+        )
+        report["search.searches"] = self.state.cache.search.searches
+        return report
 
     def coordination_report(self) -> dict[str, float]:
         """Summary of coordination success among grounded entangled requests.

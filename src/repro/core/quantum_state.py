@@ -143,6 +143,8 @@ class QuantumStateStatistics:
     writes_rejected: int = 0
     max_pending: int = 0
     semantic_reorders: int = 0
+    batches: int = 0
+    batch_transactions: int = 0
 
 
 class QuantumState:
@@ -155,12 +157,13 @@ class QuantumState:
         policy: GroundingPolicy | None = None,
         serializability: SerializabilityMode = SerializabilityMode.SEMANTIC,
         on_grounded: Callable[[GroundedTransaction], None] | None = None,
+        witness_cache: bool = True,
     ) -> None:
         self.database = database
         self.policy = policy or GroundingPolicy()
         self.serializability = serializability
         self.partitions = PartitionManager()
-        self.cache = SolutionCache(database)
+        self.cache = SolutionCache(database, enable_witness=witness_cache)
         self.statistics = QuantumStateStatistics()
         self.grounded_results: dict[int, GroundedTransaction] = {}
         self._sequence = itertools.count(1)
@@ -199,11 +202,13 @@ class QuantumState:
     def admit(self, transaction: ResourceTransaction) -> PendingTransaction:
         """Admit a resource transaction, keeping the possible worlds non-empty.
 
-        The transaction's body is rewritten against the accumulated update
-        portions of its partition (Theorem 3.5), the solution cache tries to
-        extend the partition's cached grounding, and on a cache miss a full
-        grounding search (the ``LIMIT 1`` analogue) runs.  If no grounding
-        exists the transaction is rejected.
+        The incremental fast path: the transaction's body is rewritten
+        against the partition's *incrementally maintained* accumulated
+        updates (Theorem 3.5, one new factor — never a recomposition), and
+        while the partition holds a known-valid witness only that new factor
+        is searched, extending the witness.  On a witness miss the full
+        composed body is verified or re-solved (the ``LIMIT 1`` analogue).
+        If no grounding exists the transaction is rejected.
 
         Returns:
             The pending entry for the admitted transaction.
@@ -219,23 +224,42 @@ class QuantumState:
             sequence=sequence,
         )
         atoms = tuple(entry.renamed.body) + tuple(entry.renamed.updates)
-        partition, _merged = self.partitions.merged_for(atoms)
-        accumulated = [
-            atom for pending in partition.pending for atom in pending.renamed.updates
-        ]
-        new_factor = rewrite_body_against_updates(entry.renamed.hard_body, accumulated)
+        partition, merged = self.partitions.merged_for(atoms)
+        if merged:
+            # The merged pending sequence is new; no stored witness covers
+            # it, and the merged-away partitions' witnesses must not linger.
+            self.cache.drop_witness(partition.partition_id)
+            self.cache.retain(p.partition_id for p in self.partitions)
+        new_factor = partition.composition().preview_factor(entry.renamed)
+        # Fetch the (structurally current) witness before the append changes
+        # the partition's signature; it seeds the successor witness below.
+        base_witness = self.cache.witness_for(partition)
         solution = self.cache.ensure(
             partition, new_factor, entry.renamed.hard_variables()
         )
         if solution is None:
             self.statistics.rejected += 1
             self.partitions.drop_if_empty(partition)
+            if not partition.pending:
+                self.cache.drop_witness(partition.partition_id)
             raise TransactionRejected(
                 f"transaction #{transaction.transaction_id} cannot be admitted: "
                 "no consistent grounding exists"
             )
-        partition.append(entry)
+        used_witness = self.cache.last_used_witness
+        partition.append(entry, factor=new_factor)
         partition.cached_solution = solution
+        if used_witness and base_witness is not None:
+            # Fast path: the old factors keep their footprint (the extension
+            # never rebinds their variables); only the new factor's rows are
+            # added.
+            self.cache.store_witness(
+                partition, new_factor, solution, base=base_witness
+            )
+        else:
+            self.cache.store_witness(
+                partition, partition.composed_formula(), solution
+            )
         self.statistics.admitted += 1
         if self.pending_count() > self.statistics.max_pending:
             self.statistics.max_pending = self.pending_count()
@@ -480,12 +504,23 @@ class QuantumState:
     ) -> list[GroundedTransaction]:
         """Apply the update portions of the grounded prefix to the database."""
         grounded_statements: list[tuple[PendingTransaction, list[Statement]]] = []
+        deltas: list[tuple[str, tuple, bool]] = []
         with self.database.begin() as txn:
             for entry in plan.to_ground:
                 statements = entry.renamed.ground_updates(substitution)
                 for statement in statements:
-                    txn.apply(statement)
+                    applied = txn.apply(statement)
+                    is_delete = isinstance(statement, Delete)
+                    deltas.extend(
+                        (statement.table, row.values, is_delete) for row in applied
+                    )
                 grounded_statements.append((entry, statements))
+        # This partition's witness is superseded below; dropping it first
+        # keeps the invalidation counter to genuine cross-partition hits.
+        self.cache.drop_witness(partition.partition_id)
+        # Row-level deltas invalidate exactly the witnesses they touch
+        # (normally none outside this partition, by independence).
+        self.cache.notify_deltas(deltas)
         # Optional-atom satisfaction is reported against the database state
         # that results from executing the grounded prefix: "sit next to
         # Goofy" is a property of the final seating, not of the intermediate
@@ -506,6 +541,14 @@ class QuantumState:
         partition.pending = list(plan.remaining_order)
         partition.cached_solution = substitution
         partition.restrict_solution()
+        if partition.pending and partition.cached_solution is not None:
+            # The restriction of a consistent grounding for the full order is
+            # a consistent grounding of the remaining sequence over the
+            # database produced by executing the prefix (Theorem 3.5), so the
+            # successor witness can be stored without re-searching.
+            self.cache.store_witness(
+                partition, partition.composed_formula(), partition.cached_solution
+            )
         self.partitions.drop_if_empty(partition)
         for record in results:
             self.grounded_results[record.transaction_id] = record
@@ -580,11 +623,31 @@ class QuantumState:
             if partition.pending and partition.overlaps_atoms(write_atoms)
         ]
         txn = self.database.begin()
+        deltas: list[tuple[str, tuple, bool]] = []
+        touched: list[Partition] = []
         try:
+            # Only blind single-row inserts/deletes reach this point
+            # (_statement_atom above rejects Update and conditional Delete),
+            # so the applied rows describe the write's complete delta.
             for statement in statements:
-                txn.apply(statement)
+                applied = txn.apply(statement)
+                is_delete = isinstance(statement, Delete)
+                deltas.extend(
+                    (statement.table, row.values, is_delete) for row in applied
+                )
             new_solutions: dict[int, Substitution] = {}
             for partition in affected:
+                witness = self.cache.witness_for(partition)
+                if witness is not None and not witness.touched_by(deltas):
+                    # Fast path: the write provably misses every row the
+                    # witness grounds on, so the invariant survives without
+                    # re-walking the composed body.
+                    self.cache.statistics.witness_hits += 1
+                    continue
+                touched.append(partition)
+                if self.cache.enable_witness:
+                    self.cache.statistics.witness_misses += 1
+                    self.cache.statistics.fallback_searches += 1
                 formula = partition.composed_formula()
                 if self.cache.verify(formula, partition.cached_solution):
                     continue
@@ -604,9 +667,16 @@ class QuantumState:
             self.statistics.writes_rejected += 1
             raise
         txn.commit()
+        self.cache.notify_deltas(deltas)
         for partition in affected:
             if partition.partition_id in new_solutions:
                 partition.cached_solution = new_solutions[partition.partition_id]
+        for partition in touched:
+            # Every touched partition was re-validated (or re-solved) against
+            # the post-write store; refresh its witness accordingly.
+            self.cache.store_witness(
+                partition, partition.composed_formula(), partition.cached_solution
+            )
 
 
 def _statement_atom(statement: Statement) -> Atom:

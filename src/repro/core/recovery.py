@@ -69,6 +69,31 @@ class PendingTransactionStore:
             ),
         )
 
+    def persist_many(
+        self, entries: Iterable[tuple[ResourceTransaction, int]]
+    ) -> None:
+        """Serialise a batch of admitted transactions in one store transaction.
+
+        Used by ``commit_batch``: the whole batch becomes durable atomically
+        with a single WAL commit record instead of one commit per
+        transaction.
+        """
+        entries = list(entries)
+        if not entries:
+            return
+        with self.database.begin() as txn:
+            for transaction, sequence in entries:
+                txn.insert(
+                    PENDING_TABLE,
+                    (
+                        transaction.transaction_id,
+                        sequence,
+                        transaction.client,
+                        transaction.partner,
+                        format_transaction(transaction),
+                    ),
+                )
+
     def remove(self, transaction_id: int) -> None:
         """Remove a grounded transaction from the table (no-op if absent)."""
         row = self.table.get((transaction_id,))

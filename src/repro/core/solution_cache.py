@@ -1,4 +1,4 @@
-"""The solution cache: cached groundings for composed transaction bodies.
+"""The solution cache: cached groundings (witnesses) for composed bodies.
 
 "The prototype maintains an in-memory cache of possible solutions (i.e.,
 value assignments) to the composed transaction bodies.  When a new resource
@@ -7,37 +7,110 @@ the cache can be extended to accommodate the new transaction.  If this is
 not possible, then we generate a LIMIT 1 SQL query corresponding to the body
 of the new composed transaction" (Section 4).
 
-Our cached solutions are ground :class:`~repro.logic.substitution.Substitution`
-objects stored on each :class:`~repro.core.partition.Partition`; this module
-implements the *policy* around them:
+The cache stores one :class:`Witness` per partition: the last satisfying
+substitution for the partition's composed hard body, together with the set
+of extensional rows that substitution grounds the body's atoms on.  The
+witness powers the *incremental admission fast path*:
 
-* :meth:`SolutionCache.verify` — cheaply re-check a cached solution against
-  the current database (needed after writes);
-* :meth:`SolutionCache.extend` — try to extend a cached solution with the
-  factors contributed by a newly arrived transaction;
-* :meth:`SolutionCache.solve` — fall back to a full grounding search (the
-  analogue of the ``LIMIT 1`` query against MySQL);
-* :meth:`SolutionCache.ensure` — the find-or-extend-or-solve flow used by
-  transaction admission, returning whether the invariant can be maintained.
+* **admission** — while a partition's witness is known-valid, the expensive
+  re-verification of the whole composed body is skipped entirely and only
+  the newly arrived transaction's factor is searched (extending the
+  witness);
+* **precise invalidation** — blind writes and grounding executions report
+  their row-level deltas through :meth:`SolutionCache.notify_deltas`; a
+  witness is dropped only when a delta actually touches one of the rows it
+  grounds on (deletes) or could flip a non-monotone factor (inserts under
+  negated relational atoms, which composed bodies do not produce — their
+  negations come from unification predicates and never mention the store);
+* **fallback** — on a witness miss the seed's verify → extend → solve flow
+  runs unchanged (the ``LIMIT 1`` analogue), so accept/reject decisions are
+  identical with the fast path on or off; only the amount of re-search
+  differs.  The hit/miss/invalidation/fallback counters let the benchmarks
+  report exactly that difference.
 
-The cache keeps one solution per partition, exactly like the paper's
+The cache keeps one witness per partition, exactly like the paper's
 prototype ("our current prototype ... maintains a single solution in the
-cache for every composed transaction"); the hit/miss counters let the
-experiments report how often extension succeeded.
+cache for every composed transaction").
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Any, Iterable, Sequence
 
 from repro.core.partition import Partition
 from repro.errors import FormulaError
-from repro.logic.formula import Formula, TRUE
+from repro.logic.formula import (
+    Conjunction,
+    Disjunction,
+    Formula,
+    Negation,
+    TRUE,
+    conjunction,
+)
 from repro.logic.substitution import Substitution
 from repro.logic.terms import Variable
 from repro.relational.database import Database
 from repro.solver.grounding import GroundingResult, GroundingSearch
+
+#: A row-level delta: ``(table, positional row values, is_delete)``.
+Delta = tuple[str, tuple[Any, ...], bool]
+
+#: Identity of an extensional row: ``(table, positional values)``.
+RowKey = tuple[str, tuple[Any, ...]]
+
+
+def _has_negated_atoms(formula: Formula) -> bool:
+    """True if any relational atom occurs under a negation.
+
+    Composed bodies never have one (their negations wrap unification
+    predicates, which are pure equality constraints), but the cache checks
+    rather than assumes: a witness of a non-monotone formula must also be
+    invalidated by inserts, not just deletes.
+    """
+    if isinstance(formula, Negation):
+        return bool(formula.inner.atoms())
+    if isinstance(formula, (Conjunction, Disjunction)):
+        return any(_has_negated_atoms(part) for part in formula.parts)
+    return False
+
+
+@dataclass(frozen=True)
+class Witness:
+    """A cached satisfying substitution plus its extensional footprint.
+
+    Attributes:
+        substitution: ground substitution satisfying the partition's
+            composed hard body at the time the witness was stored.
+        pending_ids: the partition's pending transaction ids when stored —
+            a structural signature; the witness is only trusted while the
+            partition still contains exactly this sequence (merges and
+            groundings change it and thereby retire the witness).
+        rows: ground instantiations of the composed body's atoms under the
+            substitution; the only extensional rows whose presence or
+            absence the body's truth value (under this fixed substitution)
+            can depend on.
+        relations: relations of atoms whose instantiation stayed non-ground
+            (auxiliary variables outside the required set); deltas on these
+            relations invalidate conservatively.
+        monotone: True when no relational atom occurs under a negation, in
+            which case inserts can never invalidate the witness.
+    """
+
+    substitution: Substitution
+    pending_ids: tuple[int, ...]
+    rows: frozenset[RowKey]
+    relations: frozenset[str]
+    monotone: bool
+
+    def touched_by(self, deltas: Iterable[Delta]) -> bool:
+        """True if any delta could change the witnessed body's truth value."""
+        for table, values, is_delete in deltas:
+            if not is_delete and self.monotone:
+                continue
+            if (table, values) in self.rows or table in self.relations:
+                return True
+        return False
 
 
 @dataclass
@@ -49,15 +122,144 @@ class SolutionCacheStatistics:
     extension_misses: int = 0
     full_solves: int = 0
     failures: int = 0
+    #: Admissions / write checks answered from a known-valid witness
+    #: (composed-body re-verification skipped entirely).
+    witness_hits: int = 0
+    #: Admissions / write checks no witness could serve (absent, stale, or
+    #: present but its extension failed).
+    witness_misses: int = 0
+    #: Witnesses dropped because a row-level delta touched their footprint.
+    witness_invalidations: int = 0
+    #: Times the fast path fell back to work over the full composed body
+    #: (a verification or a full grounding search).
+    fallback_searches: int = 0
+
+    def composed_body_passes(self) -> int:
+        """Operations that walked the whole composed body (verify + solve).
+
+        This is the cost metric the admission fast path exists to reduce;
+        the Figure 7 fast-path benchmark asserts the witness cache cuts it
+        by at least 2x.
+        """
+        return self.verifications + self.full_solves
 
 
 class SolutionCache:
-    """Find-or-extend-or-solve logic for partition solutions."""
+    """Witness store plus find-or-extend-or-solve admission logic.
 
-    def __init__(self, database: Database) -> None:
+    Args:
+        database: the extensional store searches run against.
+        enable_witness: when False the per-partition witness store is
+            disabled and every admission re-verifies the composed body from
+            scratch (the seed behaviour); accept/reject decisions are
+            unaffected.  Used by benchmarks to measure the fast path.
+    """
+
+    def __init__(self, database: Database, *, enable_witness: bool = True) -> None:
         self.database = database
         self.search = GroundingSearch(database)
         self.statistics = SolutionCacheStatistics()
+        self.enable_witness = enable_witness
+        self._witnesses: dict[int, Witness] = {}
+        #: True when the substitution returned by the last :meth:`ensure`
+        #: call came from extending a known-valid witness (the fast path);
+        #: admission uses this to decide between an incremental and a full
+        #: footprint when storing the successor witness.
+        self.last_used_witness: bool = False
+
+    # -- witness store -------------------------------------------------------
+
+    def witness_for(self, partition: Partition) -> Witness | None:
+        """The partition's witness, if still structurally current."""
+        if not self.enable_witness:
+            return None
+        witness = self._witnesses.get(partition.partition_id)
+        if witness is None:
+            return None
+        if witness.pending_ids != partition.transaction_ids():
+            # The partition was merged or partially grounded since the
+            # witness was stored; retire it.
+            del self._witnesses[partition.partition_id]
+            return None
+        return witness
+
+    def store_witness(
+        self,
+        partition: Partition,
+        formula: Formula,
+        substitution: Substitution,
+        *,
+        base: Witness | None = None,
+    ) -> Witness | None:
+        """Record ``substitution`` as the partition's witness for ``formula``.
+
+        Args:
+            partition: the partition the witness belongs to (its *current*
+                pending ids become the structural signature).
+            formula: the part of the composed body whose footprint must be
+                computed — the full composed body normally, or just the new
+                factor when ``base`` carries the footprint of everything
+                before it.
+            substitution: the satisfying substitution to cache.
+            base: witness whose footprint ``formula``'s extends (fast-path
+                extension: old factors keep their rows, since the extension
+                never rebinds the old variables).
+        """
+        if not self.enable_witness:
+            return None
+        rows: set[RowKey] = set()
+        relations: set[str] = set()
+        monotone = not _has_negated_atoms(formula)
+        if base is not None:
+            rows.update(base.rows)
+            relations.update(base.relations)
+            monotone = monotone and base.monotone
+        for atom in formula.atoms():
+            instance = substitution.apply_atom(atom.as_body())
+            if instance.is_ground():
+                rows.add((instance.relation, instance.ground_values()))
+            else:
+                relations.add(instance.relation)
+        witness = Witness(
+            substitution=substitution,
+            pending_ids=partition.transaction_ids(),
+            rows=frozenset(rows),
+            relations=frozenset(relations),
+            monotone=monotone,
+        )
+        self._witnesses[partition.partition_id] = witness
+        return witness
+
+    def drop_witness(self, partition_id: int) -> None:
+        """Forget the witness of a partition (merge, emptying, rejection)."""
+        self._witnesses.pop(partition_id, None)
+
+    def retain(self, partition_ids: Iterable[int]) -> None:
+        """Drop every witness whose partition no longer exists.
+
+        Called after merges: the merged-away partitions disappear from the
+        manager, and without this their witnesses would linger in the store
+        (leaking memory and polluting the invalidation counter).
+        """
+        live = frozenset(partition_ids)
+        for partition_id in list(self._witnesses):
+            if partition_id not in live:
+                del self._witnesses[partition_id]
+
+    def notify_deltas(self, deltas: Sequence[Delta]) -> None:
+        """Invalidate witnesses whose footprint a committed delta touches.
+
+        Called after blind writes commit and after grounded update portions
+        execute.  Deltas that miss every witness's footprint leave the
+        witnesses valid — this is the precise invalidation that lets the
+        admission fast path skip re-verification most of the time.
+        """
+        if not deltas or not self._witnesses:
+            return
+        for partition_id, witness in list(self._witnesses.items()):
+            if witness.touched_by(deltas):
+                del self._witnesses[partition_id]
+                self.statistics.witness_invalidations += 1
 
     # -- verification --------------------------------------------------------
 
@@ -128,6 +330,12 @@ class SolutionCache:
     ) -> Substitution | None:
         """Ensure the partition (plus an optional new factor) is satisfiable.
 
+        The fast path: when the partition has a structurally current witness
+        that no delta has touched, the composed body is *not* re-verified —
+        only ``new_factor`` is searched, extending the witness.  On a miss
+        the seed flow (verify cached solution → extend → full solve) runs,
+        so the fast path never changes which transactions are admitted.
+
         Args:
             partition: the partition whose invariant must hold.
             new_factor: factor contributed by a transaction being admitted
@@ -141,27 +349,56 @@ class SolutionCache:
             invariant cannot be maintained — in which case the caller must
             reject the transaction or write.
         """
-        base_formula = partition.composed_formula()
-        base_solution = partition.cached_solution
-        base_required = frozenset().union(
-            *(entry.renamed.hard_variables() for entry in partition.pending)
-        ) if partition.pending else frozenset()
+        witness = self.witness_for(partition)
+        self.last_used_witness = False
 
-        base_valid = self.verify(base_formula, base_solution)
         if new_factor is None or new_factor is TRUE:
-            if base_valid:
-                return base_solution
-            result = self.solve(base_formula, required=base_required)
-            return result.substitution if result.satisfiable else None
+            if witness is not None:
+                self.statistics.witness_hits += 1
+                self.last_used_witness = True
+                return witness.substitution
+            if self.enable_witness:
+                self.statistics.witness_misses += 1
+                self.statistics.fallback_searches += 1
+            base_formula = partition.composed_formula()
+            if self.verify(base_formula, partition.cached_solution):
+                self.store_witness(partition, base_formula, partition.cached_solution)
+                return partition.cached_solution
+            result = self.solve(base_formula, required=self._base_required(partition))
+            if not result.satisfiable:
+                return None
+            self.store_witness(partition, base_formula, result.substitution)
+            return result.substitution
 
         required = frozenset(new_required)
-        if base_valid and base_solution is not None:
-            extended = self.extend(base_solution, new_factor, required)
+        if witness is not None:
+            extended = self.extend(witness.substitution, new_factor, required)
             if extended.satisfiable:
+                # Only a *successful* extension counts as a hit: the
+                # composed body was never re-walked.
+                self.statistics.witness_hits += 1
+                self.last_used_witness = True
                 return extended.substitution
+        if self.enable_witness:
+            self.statistics.witness_misses += 1
+            self.statistics.fallback_searches += 1
+        if witness is None and partition.cached_solution is not None:
+            if self.verify(partition.composed_formula(), partition.cached_solution):
+                extended = self.extend(
+                    partition.cached_solution, new_factor, required
+                )
+                if extended.satisfiable:
+                    return extended.substitution
         # Cache miss: solve the whole composed body including the new factor.
-        from repro.logic.formula import conjunction
-
-        full = conjunction([base_formula, new_factor])
-        result = self.solve(full, required=base_required | required)
+        full = conjunction([partition.composed_formula(), new_factor])
+        result = self.solve(full, required=self._base_required(partition) | required)
         return result.substitution if result.satisfiable else None
+
+    @staticmethod
+    def _base_required(partition: Partition) -> frozenset[Variable]:
+        """Hard variables of every pending transaction of the partition."""
+        if not partition.pending:
+            return frozenset()
+        return frozenset().union(
+            *(entry.renamed.hard_variables() for entry in partition.pending)
+        )

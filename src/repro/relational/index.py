@@ -9,7 +9,6 @@ more columns, maintained incrementally by :class:`~repro.relational.table.Table`
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro.errors import SchemaError
@@ -36,7 +35,11 @@ class HashIndex:
         self.columns: tuple[str, ...] = tuple(columns)
         self.positions: tuple[int, ...] = tuple(schema.position(c) for c in columns)
         self.unique = unique
-        self._buckets: dict[tuple[Any, ...], set[Row]] = defaultdict(set)
+        # Buckets are insertion-ordered (dict-as-ordered-set) so that lookup
+        # order — and therefore every LIMIT 1 query and grounding-search
+        # choice built on top of it — is deterministic across processes
+        # regardless of PYTHONHASHSEED.
+        self._buckets: dict[tuple[Any, ...], dict[Row, None]] = {}
 
     @property
     def name(self) -> str:
@@ -52,12 +55,12 @@ class HashIndex:
     def add(self, row: Row) -> None:
         """Register ``row`` with the index."""
         key = self.key_for(row)
-        bucket = self._buckets[key]
+        bucket = self._buckets.setdefault(key, {})
         if self.unique and bucket and row not in bucket:
             raise SchemaError(
                 f"unique index {self.name} already contains key {key!r}"
             )
-        bucket.add(row)
+        bucket[row] = None
 
     def remove(self, row: Row) -> None:
         """Remove ``row`` from the index (no-op if absent)."""
@@ -65,7 +68,7 @@ class HashIndex:
         bucket = self._buckets.get(key)
         if bucket is None:
             return
-        bucket.discard(row)
+        bucket.pop(row, None)
         if not bucket:
             del self._buckets[key]
 

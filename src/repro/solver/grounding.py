@@ -55,6 +55,14 @@ class GroundingStatistics:
     nodes: int = 0
     exhausted_budget: bool = False
 
+    def add(self, other: "GroundingStatistics") -> None:
+        """Accumulate ``other``'s counters into this one."""
+        self.rows_examined += other.rows_examined
+        self.choice_points += other.choice_points
+        self.backtracks += other.backtracks
+        self.nodes += other.nodes
+        self.exhausted_budget = self.exhausted_budget or other.exhausted_budget
+
 
 @dataclass
 class GroundingResult:
@@ -86,6 +94,11 @@ class GroundingSearch:
         self.database = database
         #: Node budget of the currently running search (see :meth:`find_one`).
         self._node_budget: int | None = None
+        #: Counters accumulated over every search this instance ever ran;
+        #: benchmarks read these to report total grounding work.
+        self.totals = GroundingStatistics()
+        #: Number of :meth:`find` invocations (searches started).
+        self.searches = 0
 
     # -- public API ---------------------------------------------------------
 
@@ -172,25 +185,32 @@ class GroundingSearch:
         )
         stats = GroundingStatistics()
         self._node_budget = node_budget
+        self.searches += 1
         start = initial or Substitution.empty()
         count = 0
         seen: set[frozenset] = set()
-        for substitution in self._search([simplified], start, [], stats):
-            grounded = self._close(substitution, required_vars)
-            if grounded is None:
-                continue
-            signature = frozenset(
-                (var.name, grounded[var].value)  # type: ignore[union-attr]
-                for var in required_vars
-                if var in grounded
-            )
-            if signature in seen:
-                continue
-            seen.add(signature)
-            yield GroundingResult(grounded, True, stats)
-            count += 1
-            if limit is not None and count >= limit:
-                return
+        try:
+            for substitution in self._search([simplified], start, [], stats):
+                grounded = self._close(substitution, required_vars)
+                if grounded is None:
+                    continue
+                signature = frozenset(
+                    (var.name, grounded[var].value)  # type: ignore[union-attr]
+                    for var in required_vars
+                    if var in grounded
+                )
+                if signature in seen:
+                    continue
+                seen.add(signature)
+                yield GroundingResult(grounded, True, stats)
+                count += 1
+                if limit is not None and count >= limit:
+                    return
+        finally:
+            # Runs both on exhaustion and when the caller closes the
+            # generator early (e.g. find_one), so the totals always include
+            # this search's work.
+            self.totals.add(stats)
 
     def _search(
         self,

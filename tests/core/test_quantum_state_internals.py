@@ -88,6 +88,134 @@ class TestSolutionCache:
         )
 
 
+class TestWitnessCache:
+    """The per-partition witness store behind the admission fast path."""
+
+    def _witness(self, qdb):
+        partition = qdb.state.partitions.partitions[0]
+        return partition, qdb.state.cache.witness_for(partition)
+
+    def test_admission_stores_witness_with_footprint(self):
+        qdb = QuantumDatabase(make_tiny_flight_db(seats=3))
+        qdb.execute(ANY_SEAT.format(name="Mickey", flight=123))
+        partition, witness = self._witness(qdb)
+        assert witness is not None
+        assert witness.pending_ids == partition.transaction_ids()
+        assert witness.substitution == partition.cached_solution
+        # The footprint is the Available row the grounding sits on.
+        assert any(table == "Available" for table, _values in witness.rows)
+        assert witness.monotone
+
+    def test_second_admission_skips_composed_body_verification(self):
+        qdb = QuantumDatabase(make_tiny_flight_db(seats=3))
+        qdb.execute(ANY_SEAT.format(name="Mickey", flight=123))
+        stats = qdb.cache_statistics
+        verifications_before = stats.verifications
+        qdb.execute(ANY_SEAT.format(name="Goofy", flight=123))
+        assert stats.witness_hits >= 1
+        assert stats.verifications == verifications_before
+
+    def test_delete_of_witness_row_forces_research(self):
+        """A delete that removes the witnessed row must trigger a re-solve —
+        never a stale accept (regression guard for the fast path)."""
+        qdb = QuantumDatabase(make_tiny_flight_db(seats=3))
+        qdb.execute(ANY_SEAT.format(name="Mickey", flight=123))
+        partition, witness = self._witness(qdb)
+        [(_, (flight, seat))] = [
+            (table, values) for table, values in witness.rows if table == "Available"
+        ]
+        solves_before = qdb.cache_statistics.full_solves
+        qdb.delete("Available", (flight, seat))
+        # The touched witness forced a full re-check of the composed body.
+        assert qdb.cache_statistics.full_solves > solves_before
+        _partition, refreshed = self._witness(qdb)
+        assert refreshed is not None
+        assert (flight, seat) not in {values for _t, values in refreshed.rows}
+        # The refreshed guarantee is real: Mickey holds one of the two
+        # remaining seats, so exactly one more passenger fits.
+        assert qdb.execute(ANY_SEAT.format(name="Goofy", flight=123)).committed
+        assert not qdb.execute(ANY_SEAT.format(name="Minnie", flight=123)).committed
+
+    def test_delete_of_last_resource_rejected_not_stale_accepted(self):
+        from repro.errors import WriteRejected
+
+        qdb = QuantumDatabase(make_tiny_flight_db(seats=1))
+        qdb.execute(ANY_SEAT.format(name="Mickey", flight=123))
+        _partition, witness = self._witness(qdb)
+        [(flight, seat)] = [values for table, values in witness.rows if table == "Available"]
+        with pytest.raises(WriteRejected):
+            qdb.delete("Available", (flight, seat))
+        # The rejected write rolled back; Mickey's guarantee still grounds.
+        record = qdb.check_in(qdb.state.pending_transactions()[0].transaction_id) \
+            if qdb.state.pending_transactions() else None
+        assert record is None or record.valuation
+
+    def test_delete_missing_witness_row_is_fast_skipped(self):
+        qdb = QuantumDatabase(make_tiny_flight_db(seats=3))
+        qdb.execute(ANY_SEAT.format(name="Mickey", flight=123))
+        _partition, witness = self._witness(qdb)
+        witnessed = {values for table, values in witness.rows if table == "Available"}
+        other = next(
+            (123, f"1{letter}")
+            for letter in "ABC"
+            if (123, f"1{letter}") not in witnessed
+        )
+        verifications_before = qdb.cache_statistics.verifications
+        invalidations_before = qdb.cache_statistics.witness_invalidations
+        qdb.delete("Available", other)
+        # The write provably missed the witness footprint: no verification,
+        # no invalidation, witness still live.
+        assert qdb.cache_statistics.verifications == verifications_before
+        assert qdb.cache_statistics.witness_invalidations == invalidations_before
+        assert self._witness(qdb)[1] is not None
+
+    def test_insert_never_invalidates_monotone_witness(self):
+        qdb = QuantumDatabase(make_tiny_flight_db(seats=2))
+        qdb.execute(ANY_SEAT.format(name="Mickey", flight=123))
+        invalidations_before = qdb.cache_statistics.witness_invalidations
+        qdb.insert("Available", (123, "1Z"))
+        assert qdb.cache_statistics.witness_invalidations == invalidations_before
+        assert self._witness(qdb)[1] is not None
+
+    def test_merge_retires_witnesses(self):
+        qdb = QuantumDatabase(two_flight_db())
+        qdb.execute(ANY_SEAT.format(name="Mickey", flight=100))
+        qdb.execute(ANY_SEAT.format(name="Goofy", flight=101))
+        qdb.execute(
+            "-Available(?f, ?s), +Bookings('Donald', ?f, ?s) :-1 Available(?f, ?s)"
+        )
+        assert len(qdb.state.partitions) == 1
+        partition, witness = self._witness(qdb)
+        # The post-merge witness covers exactly the merged pending sequence.
+        assert witness is not None
+        assert witness.pending_ids == partition.transaction_ids()
+
+    def test_grounding_keeps_other_partitions_witness(self):
+        qdb = QuantumDatabase(two_flight_db())
+        first = qdb.execute(ANY_SEAT.format(name="Mickey", flight=100))
+        qdb.execute(ANY_SEAT.format(name="Goofy", flight=101))
+        invalidations_before = qdb.cache_statistics.witness_invalidations
+        qdb.ground([first.transaction_id])
+        assert qdb.cache_statistics.witness_invalidations == invalidations_before
+        # Goofy's partition still answers admissions from its witness.
+        stats = qdb.cache_statistics
+        hits_before = stats.witness_hits
+        qdb.execute(ANY_SEAT.format(name="Minnie", flight=101))
+        assert stats.witness_hits > hits_before
+
+    def test_disabled_witness_cache_behaves_like_seed(self):
+        qdb = QuantumDatabase(make_tiny_flight_db(seats=3), QuantumConfig(witness_cache=False))
+        qdb.execute(ANY_SEAT.format(name="Mickey", flight=123))
+        qdb.execute(ANY_SEAT.format(name="Goofy", flight=123))
+        stats = qdb.cache_statistics
+        assert stats.witness_hits == 0
+        assert stats.witness_misses == 0
+        assert stats.verifications >= 1
+        partition, witness = self._witness(qdb)
+        assert witness is None
+        assert partition.cached_solution is not None
+
+
 class TestGroundingPolicy:
     def test_k_bound_forces_grounding_oldest_first(self):
         qdb = QuantumDatabase(make_tiny_flight_db(seats=3), QuantumConfig(k=2))

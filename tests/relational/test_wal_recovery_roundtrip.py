@@ -1,0 +1,189 @@
+"""WAL ↔ recovery round-trips: crash after a partial transaction.
+
+These tests exercise the full durability loop of
+:mod:`repro.relational.wal` and :mod:`repro.relational.recovery`:
+
+* a "crash" is simulated by discarding the live :class:`Database` and
+  keeping only the WAL — optionally serialised to JSON lines and parsed
+  back, as a real log file would be;
+* replay must restore *exactly* the effects of committed transactions: a
+  transaction interrupted mid-flight (records written, no COMMIT marker)
+  contributes nothing;
+* the quantum tier's pending-transactions table rides on the same
+  mechanism, so a crash between admission and grounding must restore the
+  pending transaction and its guarantee.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.quantum_database import QuantumDatabase
+from repro.core.recovery import PendingTransactionStore
+from repro.relational.database import Database
+from repro.relational.recovery import recover_database, replay_into
+from repro.relational.wal import LogRecordType, WriteAheadLog
+
+
+def make_schema() -> Database:
+    database = Database()
+    database.create_table("Seats", ["flight", "seat"], key=["flight", "seat"])
+    database.create_table(
+        "Bookings", ["passenger", "flight", "seat"], key=["flight", "seat"]
+    )
+    return database
+
+
+def crash_and_recover(database: Database, *, through_json: bool) -> Database:
+    """Drop the live database, keep (optionally serialised) WAL, recover."""
+    wal = database.wal
+    if through_json:
+        wal = WriteAheadLog.load(wal.dump())
+    return recover_database(make_schema, wal)
+
+
+class TestPartialTransactionCrash:
+    @pytest.mark.parametrize("through_json", [False, True])
+    def test_uncommitted_tail_is_discarded(self, through_json):
+        database = make_schema()
+        with database.begin() as txn:
+            txn.insert("Seats", (1, "1A"))
+            txn.insert("Seats", (1, "1B"))
+        # Crash strikes mid-transaction: two operations logged, no COMMIT.
+        partial = database.begin()
+        partial.insert("Bookings", ("Mickey", 1, "1A"))
+        partial.delete("Seats", (1, "1A"))
+
+        recovered = crash_and_recover(database, through_json=through_json)
+        assert set(recovered.table("Seats").snapshot()) == {(1, "1A"), (1, "1B")}
+        assert len(recovered.table("Bookings")) == 0
+
+    @pytest.mark.parametrize("through_json", [False, True])
+    def test_committed_prefix_survives_partial_suffix(self, through_json):
+        database = make_schema()
+        with database.begin() as txn:
+            txn.insert("Seats", (1, "1A"))
+        with database.begin() as txn:
+            txn.insert("Bookings", ("Mickey", 1, "1A"))
+            txn.delete("Seats", (1, "1A"))
+        partial = database.begin()
+        partial.insert("Bookings", ("Goofy", 1, "1B"))  # never commits
+
+        recovered = crash_and_recover(database, through_json=through_json)
+        assert set(recovered.table("Bookings").snapshot()) == {("Mickey", 1, "1A")}
+        assert len(recovered.table("Seats")) == 0
+
+    def test_aborted_transaction_replays_as_nothing(self):
+        database = make_schema()
+        txn = database.begin()
+        txn.insert("Seats", (1, "1A"))
+        txn.abort()
+        with database.begin() as committed:
+            committed.insert("Seats", (2, "2A"))
+        recovered = crash_and_recover(database, through_json=True)
+        assert set(recovered.table("Seats").snapshot()) == {(2, "2A")}
+
+    def test_replay_is_deterministic_and_repeatable(self):
+        database = make_schema()
+        with database.begin() as txn:
+            txn.insert("Seats", (1, "1A"))
+            txn.insert("Seats", (1, "1B"))
+            txn.delete("Seats", (1, "1A"))
+        once = crash_and_recover(database, through_json=True)
+        twice = crash_and_recover(once, through_json=True)
+        assert set(once.table("Seats").snapshot()) == set(
+            twice.table("Seats").snapshot()
+        )
+
+    def test_recovered_wal_continues_lsn_sequence(self):
+        database = make_schema()
+        with database.begin() as txn:
+            txn.insert("Seats", (1, "1A"))
+        recovered = crash_and_recover(database, through_json=True)
+        highest_before = max(r.lsn for r in recovered.wal.records())
+        recovered.insert("Seats", (1, "1B"))
+        fresh = [r for r in recovered.wal.records() if r.lsn > highest_before]
+        assert fresh
+        assert [r.record_type for r in fresh][-1] is LogRecordType.COMMIT
+
+    def test_replay_into_skips_unfinished_transactions(self):
+        wal = WriteAheadLog()
+        wal.log_begin(1)
+        wal.log_insert(1, "Seats", (1, "1A"))
+        wal.log_commit(1)
+        wal.log_begin(2)
+        wal.log_insert(2, "Seats", (1, "1B"))  # crash before COMMIT
+        database = make_schema()
+        replay_into(database, wal)
+        assert set(database.table("Seats").snapshot()) == {(1, "1A")}
+
+
+class TestQuantumPendingRoundTrip:
+    """The pending-transactions table rides the same WAL round-trip."""
+
+    def quantum_schema(self) -> Database:
+        database = Database()
+        database.create_table("Available", ["flight", "seat"], key=["flight", "seat"])
+        database.create_table(
+            "Bookings", ["passenger", "flight", "seat"], key=["flight", "seat"]
+        )
+        PendingTransactionStore(database)
+        return database
+
+    def test_crash_between_admission_and_grounding(self):
+        qdb = QuantumDatabase(self.quantum_schema())
+        qdb.load_rows("Available", [(7, "1A"), (7, "1B")])
+        kept = qdb.execute(
+            "-Available(7, ?s), +Bookings('Mickey', 7, ?s) :-1 Available(7, ?s)"
+        )
+        assert kept.pending
+
+        # Crash: only the JSON form of the WAL survives.
+        surviving = WriteAheadLog.load(qdb.database.wal.dump())
+        recovered_store = recover_database(self.quantum_schema, surviving)
+        recovered = QuantumDatabase.recover(recovered_store, qdb.config)
+
+        assert recovered.pending_count == 1
+        assert recovered.state.is_pending(kept.transaction_id)
+        record = recovered.check_in(kept.transaction_id)
+        assert record is not None and record.valuation["s"] in ("1A", "1B")
+        # After grounding, a second crash must preserve the booking and
+        # leave nothing pending.
+        final = recover_database(
+            self.quantum_schema, WriteAheadLog.load(recovered.database.wal.dump())
+        )
+        requantum = QuantumDatabase.recover(final, qdb.config)
+        assert requantum.pending_count == 0
+        assert len(requantum.table("Bookings")) == 1
+
+    def test_batch_persistence_is_atomic_in_the_log(self):
+        qdb = QuantumDatabase(self.quantum_schema())
+        qdb.load_rows("Available", [(7, "1A"), (7, "1B"), (7, "1C")])
+        results = qdb.commit_batch(
+            [
+                "-Available(7, ?s), +Bookings('Mickey', 7, ?s) :-1 Available(7, ?s)",
+                "-Available(7, ?s), +Bookings('Goofy', 7, ?s) :-1 Available(7, ?s)",
+            ]
+        )
+        assert all(r.committed for r in results)
+        # Both pending rows were made durable under a single commit record.
+        commits = [
+            r
+            for r in qdb.database.wal.records()
+            if r.record_type is LogRecordType.COMMIT
+        ]
+        pending_inserts = [
+            r
+            for r in qdb.database.wal.records()
+            if r.record_type is LogRecordType.INSERT
+            and r.table == "__pending_transactions"
+        ]
+        assert len(pending_inserts) == 2
+        assert len({r.transaction_id for r in pending_inserts}) == 1
+        recovered = QuantumDatabase.recover(
+            recover_database(
+                self.quantum_schema, WriteAheadLog.load(qdb.database.wal.dump())
+            ),
+            qdb.config,
+        )
+        assert recovered.pending_count == 2
