@@ -1,8 +1,9 @@
 # Developer entry points for the quantum-database reproduction.
 #
-#   make check   - tier-1 test suite plus a ~10 second benchmark smoke pass
+#   make check   - tier-1 tests + benchmark smoke pass + doc doctests
 #   make test    - tier-1 test suite only (tests/)
 #   make smoke   - the smoke-marked benchmark subset (-m smoke)
+#   make docs    - doctest the README / architecture code blocks
 #   make bench   - the full benchmark suite (regenerates every figure/table)
 #
 # Set REPRO_BENCH_SCALE=paper for the paper-sized benchmark parameters.
@@ -10,15 +11,18 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: check test smoke bench
+.PHONY: check test smoke docs bench
 
-check: test smoke
+check: test smoke docs
 
 test:
 	$(PYTEST) -x -q tests
 
 smoke:
 	$(PYTEST) -q benchmarks -m smoke
+
+docs:
+	PYTHONPATH=src $(PYTHON) -m doctest README.md docs/architecture.md
 
 bench:
 	$(PYTEST) -q benchmarks

@@ -1,0 +1,188 @@
+"""Concurrent sessions — admission throughput at 1/4/16 simulated clients.
+
+Runs the Figure 7 scalability workload (Random arrival order, entangled
+pairs, per-flight partitioning) through the asyncio session layer with a
+varying number of *closed-loop* simulated clients: each client has one
+request outstanding and pays a simulated client-side latency (think time +
+network round trip, ``CLIENT_LATENCY``) before every commit — the standard
+closed-loop model for server benchmarks.
+
+What the experiment shows:
+
+* with **one** client the server is latency-bound: every commit pays the
+  client-side delay in series, and the admission pipeline idles between
+  requests;
+* with **16** clients the single-writer admission queue stays full, the
+  client-side delays overlap, and the writer group-commits the drained
+  runs (one durability write per run) — throughput approaches the CPU
+  bound of the admission path itself, which the PR-1 witness cache keeps
+  short;
+* accept/reject decisions are **identical to the synchronous path**: the
+  writer admits strictly in queue order through the ordinary admission
+  routine, so replaying the recorded admission order through
+  ``QuantumDatabase.execute`` must reproduce every decision exactly.
+
+The headline assertion is ≥2x admission throughput at 16 sessions vs 1;
+on a single-core host the expected ratio is roughly
+``(CLIENT_LATENCY + work) / work`` ≈ 3x at the smoke scale.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from benchmarks.conftest import BENCH_SCALE, report
+from repro.core.quantum_database import QuantumConfig, QuantumDatabase
+from repro.experiments.figure7 import default_parameters, paper_parameters
+from repro.experiments.report import format_table
+from repro.server import QuantumServer, ServerConfig
+from repro.workloads.arrival_orders import ArrivalOrder
+from repro.workloads.entangled_workload import generate_workload
+from repro.workloads.flights import FlightDatabaseSpec, build_flight_database
+
+#: Simulated per-request client-side latency (think time + network round
+#: trip), the closed-loop delay each client pays before submitting its next
+#: commit.  10 ms is a conservative intra-region RTT; it must comfortably
+#: exceed the per-transaction admission work (~2-12 ms across the sweep)
+#: for the concurrency win to be visible on a single-core host.
+CLIENT_LATENCY = 0.010
+
+#: Closed-loop client counts to sweep.
+CLIENT_COUNTS = (1, 4, 16)
+
+
+def _parameters(smoke: bool):
+    if BENCH_SCALE == "paper":
+        return paper_parameters()
+    parameters = default_parameters()
+    if smoke:
+        # Trim the sweep so the whole smoke selection stays within the
+        # `make check` budget.
+        return type(parameters)(
+            flight_counts=parameters.flight_counts[:2],
+            rows_per_flight=parameters.rows_per_flight,
+            ks=parameters.ks[:1],
+            seed=parameters.seed,
+        )
+    return parameters
+
+
+def _record_admission_order(qdb: QuantumDatabase) -> list:
+    """Wrap ``commit_batch`` to capture the writer's global admission order."""
+    admitted: list = []
+    original = qdb.commit_batch
+
+    def recording(transactions, **kwargs):
+        admitted.extend(transactions)
+        return original(transactions, **kwargs)
+
+    qdb.commit_batch = recording  # type: ignore[method-assign]
+    return admitted
+
+
+async def _serve(spec, *, k: int, seed: int, clients: int):
+    """One server run: returns (decisions, admission order, seconds, stats)."""
+    workload = generate_workload(spec, ArrivalOrder.RANDOM, seed=seed)
+    transactions = list(workload.transactions)
+    qdb = QuantumDatabase(build_flight_database(spec), QuantumConfig(k=k))
+    admitted = _record_admission_order(qdb)
+    decisions: dict[int, bool] = {}
+    streams = [transactions[i::clients] for i in range(clients)]
+
+    async def client(index: int, stream) -> None:
+        async with server.session(client=f"client{index}") as session:
+            for transaction in stream:
+                await asyncio.sleep(CLIENT_LATENCY)
+                result = await session.commit(transaction)
+                decisions[result.transaction_id] = result.committed
+
+    async with QuantumServer(qdb) as server:
+        start = time.perf_counter()
+        await asyncio.gather(
+            *(client(index, stream) for index, stream in enumerate(streams))
+        )
+        elapsed = time.perf_counter() - start
+        await server.ground_all()
+        stats = server.statistics_report()
+    return decisions, admitted, elapsed, stats
+
+
+def _replay_decisions(spec, *, k: int, admitted) -> dict[int, bool]:
+    """The synchronous path: the recorded admission order through execute()."""
+    qdb = QuantumDatabase(build_flight_database(spec), QuantumConfig(k=k))
+    return {
+        transaction.transaction_id: qdb.execute(transaction).committed
+        for transaction in admitted
+    }
+
+
+@pytest.mark.smoke
+def test_concurrent_sessions_throughput(benchmark, smoke_run):
+    parameters = _parameters(smoke_run)
+    rows = []
+    throughput: dict[int, float] = {count: 0.0 for count in CLIENT_COUNTS}
+    total = {count: 0.0 for count in CLIENT_COUNTS}
+    transactions_total = 0
+
+    def sweep():
+        nonlocal transactions_total
+        for num_flights in parameters.flight_counts:
+            spec = FlightDatabaseSpec(
+                num_flights=num_flights, rows_per_flight=parameters.rows_per_flight
+            )
+            for k in parameters.ks:
+                point = {}
+                for clients in CLIENT_COUNTS:
+                    decisions, admitted, elapsed, stats = asyncio.run(
+                        _serve(spec, k=k, seed=parameters.seed, clients=clients)
+                    )
+                    # Decisions identical to the synchronous path on the
+                    # same (recorded) arrival order — the single writer
+                    # admits through the ordinary admission routine.
+                    assert len(admitted) == len(decisions)
+                    replayed = _replay_decisions(spec, k=k, admitted=admitted)
+                    assert replayed == decisions
+                    point[clients] = (len(decisions), elapsed, stats)
+                    total[clients] += elapsed
+                count = point[CLIENT_COUNTS[0]][0]
+                transactions_total += count
+                rows.append(
+                    [
+                        num_flights,
+                        k,
+                        count,
+                        *(round(point[c][1], 3) for c in CLIENT_COUNTS),
+                        *(round(point[c][0] / point[c][1], 1) for c in CLIENT_COUNTS),
+                        point[CLIENT_COUNTS[-1]][2]["server.max_commit_run"],
+                        point[CLIENT_COUNTS[-1]][2]["cache.witness_hits"],
+                    ]
+                )
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for clients in CLIENT_COUNTS:
+        throughput[clients] = transactions_total / total[clients]
+    speedup = throughput[16] / throughput[1]
+    report(
+        "Concurrent sessions (Figure 7 workload, closed-loop clients, "
+        f"{CLIENT_LATENCY * 1000:.0f} ms simulated client latency)",
+        format_table(
+            [
+                "#flights",
+                "k",
+                "#txns",
+                *(f"{c} cli (s)" for c in CLIENT_COUNTS),
+                *(f"{c} cli (txn/s)" for c in CLIENT_COUNTS),
+                "max group",
+                "witness hits",
+            ],
+            rows,
+        )
+        + f"\naggregate speedup 16 vs 1 clients: {speedup:.2f}x",
+    )
+    # Headline acceptance criterion: >=2x admission throughput at 16
+    # sessions vs 1 session, with identical accept/reject decisions
+    # (asserted per sweep point above).
+    assert speedup >= 2.0, (throughput[1], throughput[16])

@@ -1,0 +1,70 @@
+"""Concurrent clients through the asyncio session layer.
+
+Four travellers book seats on two flights at the same time.  Each client
+owns a :class:`~repro.server.Session`; the server funnels every commit
+through its single-writer admission queue (group-committing concurrent
+arrivals) and delivers the eventual seat assignments as awaitable
+grounding futures.  See ``docs/architecture.md`` for the design.
+
+Run with::
+
+    PYTHONPATH=src python examples/async_sessions.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro import QuantumDatabase, QuantumServer, ServerConfig
+
+
+def build_database() -> QuantumDatabase:
+    qdb = QuantumDatabase()
+    qdb.create_table("Available", ["flight", "seat"], key=["flight", "seat"])
+    qdb.create_table(
+        "Bookings", ["passenger", "flight", "seat"], key=["flight", "seat"]
+    )
+    qdb.load_rows(
+        "Available",
+        [(flight, f"{row}{letter}") for flight in (123, 456)
+         for row in (1, 2) for letter in "AB"],
+    )
+    return qdb
+
+
+async def traveller(server: QuantumServer, name: str, flight: int) -> str:
+    """One closed-loop client: commit, then await the grounded seat."""
+    async with server.session(client=name) as session:
+        result = await session.commit(
+            f"-Available({flight}, ?s), +Bookings('{name}', {flight}, ?s)"
+            f" :-1 Available({flight}, ?s)"
+        )
+        if not result.committed:
+            return f"{name}: rejected ({result.rejection_reason})"
+        seat_future = session.on_grounding(result.transaction_id)
+        await session.check_in(result.transaction_id)
+        record = await seat_future
+        return f"{name}: flight {flight} seat {record.valuation['s']}"
+
+
+async def main() -> None:
+    qdb = build_database()
+    async with QuantumServer(qdb, ServerConfig()) as server:
+        lines = await asyncio.gather(
+            traveller(server, "Mickey", 123),
+            traveller(server, "Goofy", 123),
+            traveller(server, "Donald", 456),
+            traveller(server, "Daisy", 456),
+        )
+        for line in lines:
+            print(line)
+        report = server.statistics_report()
+        print(
+            f"group commits: {report['server.commit_runs']} "
+            f"(largest {report['server.max_commit_run']}), "
+            f"witness hits: {report['cache.witness_hits']}"
+        )
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

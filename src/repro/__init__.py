@@ -20,13 +20,43 @@ that the benchmarks report.  Set ``QuantumConfig(witness_cache=False)`` to
 measure the non-cached path — accept/reject decisions are identical either
 way.
 
+Concurrent clients are served by the asyncio session layer
+(:mod:`repro.server`): a :class:`~repro.server.QuantumServer` funnels every
+mutation through a single-writer admission queue (group-committing
+concurrent arrivals, so decisions are identical to the synchronous path in
+the same arrival order), each client gets a :class:`~repro.server.Session`
+with its own transaction stream and statistics, and grounding results are
+delivered as awaitable futures (``session.on_grounding(...)``).  Graceful
+shutdown drains the queue, flushes the WAL and folds it into a snapshot
+checkpoint so crash recovery stays bounded.
+
+The two synchronous entry points applications start from:
+
+* :class:`QuantumConfig` — ``k`` (pending bound per partition),
+  ``strategy`` (forced-grounding victim order), ``serializability``
+  (STRICT/SEMANTIC), ``read_mode`` (COLLAPSE/PEEK/EXPOSE_ALL),
+  ``ground_on_partner_arrival`` and ``witness_cache`` (the fast-path
+  toggle; decisions are identical either way)::
+
+      qdb = QuantumDatabase(config=QuantumConfig(k=8, witness_cache=True))
+
+* :meth:`QuantumDatabase.statistics_report` — every counter the system
+  maintains, flattened to ``section.counter`` keys (``state.admitted``,
+  ``cache.witness_hits``, ``search.nodes``, ...); the server variant
+  :meth:`~repro.server.QuantumServer.statistics_report` adds a
+  ``server.*`` section (queue depth, group-commit sizes, cancellations)::
+
+      report = qdb.statistics_report()
+      report["cache.witness_hits"]   # fast-path admissions
+
 The top-level package re-exports the names most applications need; the
 subpackages are:
 
 * :mod:`repro.core` — the quantum database middle tier (the paper's
   contribution);
+* :mod:`repro.server` — the asyncio session layer for concurrent clients;
 * :mod:`repro.relational` — the extensional store substrate (replacing the
-  paper's MySQL);
+  paper's MySQL), including the WAL with group commit and checkpoints;
 * :mod:`repro.logic` — terms, atoms, unification and composed-body
   formulas;
 * :mod:`repro.solver` — grounding search, CSP and SAT machinery;
@@ -35,6 +65,9 @@ subpackages are:
 * :mod:`repro.workloads` — flight databases, arrival orders, and the
   entangled / mixed workloads of the evaluation section;
 * :mod:`repro.experiments` — harnesses regenerating every table and figure.
+
+See the repository ``README.md`` for a quickstart and
+``docs/architecture.md`` for the admission flow and session model.
 """
 
 from repro.core.entanglement import (
@@ -56,27 +89,42 @@ from repro.errors import (
 )
 from repro.relational.database import Database
 from repro.relational.planner import PlannerConfig
+from repro.relational.wal import FileWalSink, WriteAheadLog
+from repro.server import (
+    AdmissionResult,
+    QuantumServer,
+    ServerConfig,
+    Session,
+    SessionStatistics,
+)
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
+    "AdmissionResult",
     "CommitResult",
     "Database",
     "EntangledResourceTransaction",
+    "FileWalSink",
     "GroundingPolicy",
     "GroundingStrategy",
     "PlannerConfig",
     "QuantumConfig",
     "QuantumDatabase",
     "QuantumError",
+    "QuantumServer",
     "ReadMode",
     "ReadRequest",
     "ReproError",
     "ResourceTransaction",
     "SerializabilityMode",
+    "ServerConfig",
+    "Session",
+    "SessionStatistics",
     "SolutionCacheStatistics",
     "TransactionRejected",
     "Witness",
+    "WriteAheadLog",
     "WriteRejected",
     "__version__",
     "format_transaction",

@@ -21,6 +21,10 @@ which wraps a :class:`~repro.relational.database.Database` and adds:
   (:mod:`.entanglement`);
 * an explicit **possible-worlds** enumeration used to validate the
   intensional representation on small instances (:mod:`.worlds`).
+
+Concurrent clients are served by the asyncio session layer on top of this
+tier (:mod:`repro.server`); the admission flow, the witness-cache fast
+path and the session/queue model are documented in ``docs/architecture.md``.
 """
 
 from repro.core.composition import compose_pair, compose_sequence, composed_body

@@ -27,10 +27,16 @@ Typical usage::
     )
     assert result.committed          # Mickey has a guaranteed seat ...
     qdb.check_in(result.transaction_id)   # ... fixed only at check-in time.
+
+Concurrent clients should go through the asyncio session layer
+(:mod:`repro.server`), which serializes every mutation behind one writer
+while preserving these exact semantics.  ``docs/architecture.md`` describes
+the admission flow, the witness-cache fast path and the session model.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import Executor
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
@@ -381,13 +387,23 @@ class QuantumDatabase:
     # Explicit grounding
     # ------------------------------------------------------------------
 
-    def ground(self, transaction_ids: Iterable[int]) -> list[GroundedTransaction]:
-        """Fix the value assignments of specific pending transactions."""
-        return self.state.ground(transaction_ids)
+    def ground(
+        self, transaction_ids: Iterable[int], *, executor: Executor | None = None
+    ) -> list[GroundedTransaction]:
+        """Fix the value assignments of specific pending transactions.
 
-    def ground_all(self) -> list[GroundedTransaction]:
+        When ``executor`` is given and the ids span several partitions, the
+        read-only grounding searches run concurrently on it (partition
+        independence makes the plans commute); the mutating apply phase
+        stays serial.  The session layer passes its executor here.
+        """
+        return self.state.ground(transaction_ids, executor=executor)
+
+    def ground_all(
+        self, *, executor: Executor | None = None
+    ) -> list[GroundedTransaction]:
         """Fix every pending transaction (e.g. at the end of a booking day)."""
-        return self.state.ground_all()
+        return self.state.ground_all(executor=executor)
 
     def check_in(self, transaction_id: int) -> GroundedTransaction | None:
         """Collapse one transaction and return its assignment.
@@ -473,6 +489,17 @@ class QuantumDatabase:
     # Recovery
     # ------------------------------------------------------------------
 
+    def checkpoint(self) -> None:
+        """Checkpoint the store's WAL: snapshot the state, drop the replay tail.
+
+        After this call crash recovery restores the snapshot carried by the
+        checkpoint record and replays only later records, so recovery work
+        stays bounded no matter how long the server has been running.  The
+        pending-transactions table is part of the snapshot, so pending
+        resource transactions survive exactly as before.
+        """
+        self.database.checkpoint()
+
     @classmethod
     def recover(
         cls, database: Database, config: QuantumConfig | None = None
@@ -492,9 +519,9 @@ class QuantumDatabase:
         """
         quantum = cls(database, config)
         restored = quantum.pending_store.restore()
-        for _sequence, transaction in restored:
+        for sequence, transaction in restored:
             try:
-                quantum.state.admit(transaction)
+                quantum.state.admit(transaction, sequence=sequence)
             except TransactionRejected as exc:
                 from repro.errors import QuantumRecoveryError
 

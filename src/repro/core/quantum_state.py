@@ -17,11 +17,21 @@ solutions, and implements the operations of Section 3.2:
   atoms;
 * :meth:`QuantumState.validate_write` — admission control for blind writes
   issued by ordinary (non-resource) transactions.
+
+Grounding is split into a read-only *plan* phase (:meth:`QuantumState.plan_grounding`
+— serializability planning plus the grounding search) and a mutating *apply*
+phase (:meth:`QuantumState.apply_grounding` — executing the chosen update
+portions and refreshing witnesses).  Because partitions are independent by
+construction — no atom of one unifies with any atom of another, hence their
+ground-row footprints are disjoint — plans for *different* partitions
+commute: :meth:`QuantumState.ground` exploits this by planning independent
+partitions concurrently on an executor before applying the plans serially.
+See ``docs/architecture.md`` ("Concurrent grounding") for the full argument.
 """
 
 from __future__ import annotations
 
-import itertools
+from concurrent.futures import Executor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
@@ -131,6 +141,32 @@ class GroundedTransaction:
         return total > 0 and self.satisfied_optionals == total
 
 
+@dataclass(frozen=True)
+class PlannedGrounding:
+    """The outcome of the read-only grounding plan phase.
+
+    Produced by :meth:`QuantumState.plan_grounding`, consumed by
+    :meth:`QuantumState.apply_grounding`.  Plans for different partitions
+    commute (disjoint row footprints), so the session layer computes them
+    concurrently and applies them in any order.
+
+    Attributes:
+        partition: the partition being grounded.
+        plan: the serialization order chosen for the partition.
+        substitution: the grounding found for the order's prefix (plus a
+            witness for its suffix).
+        satisfied_atoms: per-transaction satisfied-optional counts at
+            search time.
+        forced: whether this grounding was forced by the ``k`` bound.
+    """
+
+    partition: Partition
+    plan: GroundingPlan
+    substitution: Substitution
+    satisfied_atoms: Mapping[int, int]
+    forced: bool = False
+
+
 @dataclass
 class QuantumStateStatistics:
     """Counters the experiments report."""
@@ -166,7 +202,7 @@ class QuantumState:
         self.cache = SolutionCache(database, enable_witness=witness_cache)
         self.statistics = QuantumStateStatistics()
         self.grounded_results: dict[int, GroundedTransaction] = {}
-        self._sequence = itertools.count(1)
+        self._next_sequence = 1
         #: Callback invoked for every grounded transaction (the quantum
         #: database uses it to delete rows from the pending-transactions
         #: table and to notify the application if desired).
@@ -199,7 +235,9 @@ class QuantumState:
     # Admission (new resource transactions)
     # ------------------------------------------------------------------
 
-    def admit(self, transaction: ResourceTransaction) -> PendingTransaction:
+    def admit(
+        self, transaction: ResourceTransaction, *, sequence: int | None = None
+    ) -> PendingTransaction:
         """Admit a resource transaction, keeping the possible worlds non-empty.
 
         The incremental fast path: the transaction's body is rewritten
@@ -210,6 +248,13 @@ class QuantumState:
         composed body is verified or re-solved (the ``LIMIT 1`` analogue).
         If no grounding exists the transaction is rejected.
 
+        Args:
+            transaction: the resource transaction to admit.
+            sequence: arrival sequence to record for the transaction.
+                Normally omitted (the state assigns the next number); the
+                recovery path passes the persisted sequence so the rebuilt
+                state resumes numbering where the crashed instance stopped.
+
         Returns:
             The pending entry for the admitted transaction.
 
@@ -217,7 +262,9 @@ class QuantumState:
             TransactionRejected: if admitting the transaction would empty
                 the set of possible worlds.
         """
-        sequence = next(self._sequence)
+        if sequence is None:
+            sequence = self._next_sequence
+        self._next_sequence = max(self._next_sequence, sequence + 1)
         entry = PendingTransaction(
             original=transaction,
             renamed=transaction.rename_variables(f"@{transaction.transaction_id}"),
@@ -282,7 +329,11 @@ class QuantumState:
     # ------------------------------------------------------------------
 
     def ground(
-        self, transaction_ids: Iterable[int], *, forced: bool = False
+        self,
+        transaction_ids: Iterable[int],
+        *,
+        forced: bool = False,
+        executor: Executor | None = None,
     ) -> list[GroundedTransaction]:
         """Fix value assignments for the given pending transactions.
 
@@ -290,6 +341,17 @@ class QuantumState:
         the configured serializability mode.  Ids that are not pending
         (already grounded) are silently skipped, which makes the call
         idempotent.
+
+        Args:
+            transaction_ids: the pending transactions to ground.
+            forced: mark the resulting records as forced by the ``k`` bound.
+            executor: optional executor on which the read-only *plan* phase
+                (serializability planning + grounding search) runs
+                concurrently when more than one partition is involved.
+                Partitions are independent by construction — their atoms
+                cannot unify, so the rows their plans ground on are
+                disjoint — which makes the plans valid regardless of the
+                order the (serial) apply phase later executes them in.
         """
         grouped: dict[int, tuple[Partition, list[PendingTransaction]]] = {}
         for transaction_id in transaction_ids:
@@ -298,15 +360,88 @@ class QuantumState:
                 continue
             partition, entry = located
             grouped.setdefault(partition.partition_id, (partition, []))[1].append(entry)
+        groups = list(grouped.values())
         results: list[GroundedTransaction] = []
-        for partition, entries in grouped.values():
-            results.extend(self._ground_in_partition(partition, entries, forced=forced))
+        if executor is not None and len(groups) > 1:
+            planned = list(
+                executor.map(
+                    lambda group: self.plan_grounding(
+                        group[0], group[1], forced=forced
+                    ),
+                    groups,
+                )
+            )
+            for plan in planned:
+                results.extend(self.apply_grounding(plan))
+        else:
+            for partition, entries in groups:
+                results.extend(
+                    self._ground_in_partition(partition, entries, forced=forced)
+                )
         return results
 
-    def ground_all(self) -> list[GroundedTransaction]:
+    def ground_all(
+        self, *, executor: Executor | None = None
+    ) -> list[GroundedTransaction]:
         """Ground every pending transaction (used at workload end)."""
         ids = [entry.transaction_id for entry in self.pending_transactions()]
-        return self.ground(ids)
+        return self.ground(ids, executor=executor)
+
+    def plan_grounding(
+        self,
+        partition: Partition,
+        targets: Sequence[PendingTransaction],
+        *,
+        forced: bool = False,
+    ) -> "PlannedGrounding":
+        """The read-only half of grounding: pick an order and a substitution.
+
+        Runs the serializability planner and the preference-maximising
+        grounding search, mutating no shared state (the search's own
+        counters are lock-guarded) — safe to run concurrently for
+        *different* partitions while no writes are in flight (the
+        single-writer session loop guarantees that).
+
+        Raises:
+            QuantumStateError: if no grounding exists, i.e. the quantum
+                database invariant was somehow violated.
+        """
+        plan = grounding_plan(
+            self.serializability,
+            partition,
+            targets,
+            lambda order: self._order_is_satisfiable(order),
+        )
+        order = list(plan.to_ground) + list(plan.remaining_order)
+        substitution, satisfied_atoms = self._choose_grounding(order, plan.to_ground)
+        if substitution is None:
+            raise QuantumStateError(
+                "quantum database invariant violated: no grounding exists for "
+                f"partition #{partition.partition_id}"
+            )
+        return PlannedGrounding(
+            partition=partition,
+            plan=plan,
+            substitution=substitution,
+            satisfied_atoms=satisfied_atoms,
+            forced=forced,
+        )
+
+    def apply_grounding(
+        self, planned: "PlannedGrounding"
+    ) -> list[GroundedTransaction]:
+        """The mutating half of grounding: execute a plan's update portions."""
+        # Counted here, not in the (possibly concurrent) plan phase, so the
+        # statistics counters are only ever touched serially.
+        if planned.plan.reordered:
+            self.statistics.semantic_reorders += 1
+        return self._execute_grounding(
+            planned.partition,
+            planned.plan,
+            planned.substitution,
+            planned.satisfied_atoms,
+            forced=planned.forced,
+        )
 
     def _ground_in_partition(
         self,
@@ -315,25 +450,9 @@ class QuantumState:
         *,
         forced: bool,
     ) -> list[GroundedTransaction]:
-        plan = grounding_plan(
-            self.serializability,
-            partition,
-            targets,
-            lambda order: self._order_is_satisfiable(order),
+        return self.apply_grounding(
+            self.plan_grounding(partition, targets, forced=forced)
         )
-        if plan.reordered:
-            self.statistics.semantic_reorders += 1
-        order = list(plan.to_ground) + list(plan.remaining_order)
-        substitution, satisfied_atoms = self._choose_grounding(order, plan.to_ground)
-        if substitution is None:
-            raise QuantumStateError(
-                "quantum database invariant violated: no grounding exists for "
-                f"partition #{partition.partition_id}"
-            )
-        results = self._execute_grounding(
-            partition, plan, substitution, satisfied_atoms, forced=forced
-        )
-        return results
 
     def _order_is_satisfiable(self, order: Sequence[PendingTransaction]) -> bool:
         """Satisfiability check used by the semantic reorder strategy."""

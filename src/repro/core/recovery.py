@@ -14,6 +14,16 @@ grounded and executed, it is removed from the pending transactions table."
 :class:`PendingTransactionStore` implements exactly that: it owns the
 special table inside the extensional store and (de)serialises transactions
 through the textual notation of :mod:`repro.core.parser`.
+
+Each row also records the transaction's global arrival **sequence**;
+:meth:`QuantumDatabase.recover <repro.core.quantum_database.QuantumDatabase.recover>`
+re-admits in that order and resumes sequence numbering past the persisted
+high-water mark, so a recovered server continues exactly where the crashed
+one stopped.  The table itself rides the relational WAL — batch persists
+(:meth:`PendingTransactionStore.persist_many`, used by ``commit_batch`` and
+the session layer's group commit) become durable under a single commit
+record, and WAL checkpoints snapshot it like any other table (see
+``docs/architecture.md``, "Durability, checkpoints and recovery").
 """
 
 from __future__ import annotations

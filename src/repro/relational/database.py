@@ -5,7 +5,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Iterable, Mapping, Sequence
 
-from repro.errors import SchemaError, UnknownTableError
+from repro.errors import SchemaError, TransactionError, UnknownTableError
 from repro.relational.dml import Delete, Insert, Statement, Update
 from repro.relational.executor import Executor
 from repro.relational.planner import Planner, PlannerConfig
@@ -38,6 +38,7 @@ class Database:
         self._executor = Executor(Planner(self.planner_config))
         self.wal = WriteAheadLog()
         self._txn_ids = itertools.count(1)
+        self._active_transactions: set[int] = set()
 
     # -- catalog ------------------------------------------------------------
 
@@ -131,13 +132,41 @@ class Database:
 
     def begin(self) -> Transaction:
         """Start a new transaction."""
-        return Transaction(self, next(self._txn_ids), self.wal)
+        transaction_id = next(self._txn_ids)
+        self._active_transactions.add(transaction_id)
+        return Transaction(self, transaction_id, self.wal)
+
+    def _transaction_finished(self, transaction_id: int) -> None:
+        """Bookkeeping callback from :meth:`Transaction.commit` / ``abort``."""
+        self._active_transactions.discard(transaction_id)
 
     # -- snapshots ----------------------------------------------------------
 
     def snapshot(self) -> dict[str, list[tuple[Any, ...]]]:
         """Return the full extensional state as plain value tuples."""
         return {name: table.snapshot() for name, table in self._tables.items()}
+
+    def checkpoint(self) -> None:
+        """Fold the WAL into one CHECKPOINT record holding a full snapshot.
+
+        Bounds recovery replay work: after a checkpoint, recovery restores
+        the snapshot and replays only the records logged since.  The session
+        layer calls this during graceful shutdown (see
+        :meth:`repro.server.QuantumServer.shutdown`); long-running servers
+        may also call it periodically.
+
+        Raises:
+            TransactionError: if any transaction is still active — tables
+                hold uncommitted effects immediately (undo lives in memory),
+                so a snapshot taken now would bake those effects in while
+                discarding the log records that mark them uncommitted.
+        """
+        if self._active_transactions:
+            raise TransactionError(
+                "cannot checkpoint while transactions are active: "
+                f"{sorted(self._active_transactions)}"
+            )
+        self.wal.checkpoint(self.snapshot())
 
     def restore(self, snapshot: Mapping[str, Iterable[Sequence[Any]]]) -> None:
         """Replace table contents from a :meth:`snapshot` (schemas must exist)."""

@@ -49,9 +49,21 @@ def recover_database(
 
 
 def replay_into(database: Database, wal: WriteAheadLog) -> None:
-    """Replay committed WAL records into ``database`` (redo pass)."""
+    """Replay committed WAL records into ``database`` (redo pass).
+
+    A CHECKPOINT record restores the snapshot it carries (replacing all
+    table contents accumulated so far) and replay continues with the
+    records that follow it; :meth:`WriteAheadLog.checkpoint` guarantees at
+    most one such record, at the front of the log, so recovery work is
+    bounded by the snapshot size plus the post-checkpoint tail.
+    """
     committed = wal.committed_transaction_ids()
     for record in wal.records():
+        if record.record_type is LogRecordType.CHECKPOINT:
+            if record.snapshot is None:
+                raise RecoveryError("CHECKPOINT log record missing its snapshot")
+            database.restore(record.snapshot)
+            continue
         if record.transaction_id not in committed:
             continue
         if record.record_type is LogRecordType.INSERT:

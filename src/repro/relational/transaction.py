@@ -147,6 +147,7 @@ class Transaction:
         self._wal.log_commit(self.transaction_id)
         self.status = TransactionStatus.COMMITTED
         self._undo.clear()
+        self.database._transaction_finished(self.transaction_id)
 
     def abort(self) -> None:
         """Undo all changes and end the transaction."""
@@ -160,6 +161,7 @@ class Transaction:
         self._wal.log_abort(self.transaction_id)
         self.status = TransactionStatus.ABORTED
         self._undo.clear()
+        self.database._transaction_finished(self.transaction_id)
 
     # -- context manager ----------------------------------------------------
 

@@ -5,21 +5,34 @@ by serialising them into a pending-transactions table before commit (paper,
 Section 4, "Recovery").  That table lives in the ordinary relational store,
 so the store itself needs a recovery story: this module provides a minimal
 physiological WAL — ordered records of row-level inserts and deletes tagged
-with transaction ids and commit/abort markers — plus an in-memory "stable
-storage" abstraction that recovery replays.
+with transaction ids and commit/abort markers — plus a pluggable "stable
+storage" sink that recovery replays.
 
-The log is deliberately simple (no checkpoints, no fuzzy snapshots): its job
-in the reproduction is to make the crash-recovery path of the quantum
-database testable end-to-end, not to compete with InnoDB.
+Three properties matter to the session layer built on top
+(:mod:`repro.server`, see ``docs/architecture.md``):
+
+* **Thread/loop-safety** — every mutation of the log happens under one
+  internal lock, because the asyncio writer task and the grounding
+  executor's apply phase may touch the log from different threads (never
+  concurrently for the same record, but interleaved across records).
+* **Group commit** — when a durable sink is attached, buffered records are
+  flushed once per COMMIT/ABORT marker, so a batch persisted in a single
+  store transaction costs a single durability flush regardless of how many
+  rows it wrote.
+* **Checkpoints** — :meth:`WriteAheadLog.checkpoint` folds the whole log
+  into one CHECKPOINT record carrying a database snapshot, bounding the
+  recovery replay work for long-running servers (graceful shutdown calls
+  it; see :meth:`repro.relational.database.Database.checkpoint`).
 """
 
 from __future__ import annotations
 
 import enum
-import itertools
 import json
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, Sequence
+import os
+import threading
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import RecoveryError
 
@@ -32,6 +45,7 @@ class LogRecordType(enum.Enum):
     DELETE = "DELETE"
     COMMIT = "COMMIT"
     ABORT = "ABORT"
+    CHECKPOINT = "CHECKPOINT"
 
 
 @dataclass(frozen=True)
@@ -41,9 +55,12 @@ class LogRecord:
     Attributes:
         lsn: log sequence number (monotonically increasing).
         record_type: the record kind.
-        transaction_id: id of the transaction that produced the record.
+        transaction_id: id of the transaction that produced the record
+            (0 for CHECKPOINT records, which belong to no transaction).
         table: affected table (INSERT/DELETE records only).
         values: affected row values (INSERT/DELETE records only).
+        snapshot: full extensional state (CHECKPOINT records only):
+            table name → list of row-value tuples.
     """
 
     lsn: int
@@ -51,48 +68,152 @@ class LogRecord:
     transaction_id: int
     table: str | None = None
     values: tuple[Any, ...] | None = None
+    snapshot: Mapping[str, Sequence[Sequence[Any]]] | None = None
 
     def to_json(self) -> str:
         """Serialise the record to a JSON line (for durability tests)."""
-        return json.dumps(
-            {
-                "lsn": self.lsn,
-                "type": self.record_type.value,
-                "txn": self.transaction_id,
-                "table": self.table,
-                "values": list(self.values) if self.values is not None else None,
+        payload: dict[str, Any] = {
+            "lsn": self.lsn,
+            "type": self.record_type.value,
+            "txn": self.transaction_id,
+            "table": self.table,
+            "values": list(self.values) if self.values is not None else None,
+        }
+        if self.snapshot is not None:
+            payload["snapshot"] = {
+                name: [list(row) for row in rows]
+                for name, rows in self.snapshot.items()
             }
-        )
+        return json.dumps(payload)
 
     @classmethod
     def from_json(cls, line: str) -> "LogRecord":
         """Parse a record previously produced by :meth:`to_json`."""
         try:
             data = json.loads(line)
+            snapshot = data.get("snapshot")
             return cls(
                 lsn=data["lsn"],
                 record_type=LogRecordType(data["type"]),
                 transaction_id=data["txn"],
                 table=data["table"],
                 values=tuple(data["values"]) if data["values"] is not None else None,
+                snapshot={
+                    name: [tuple(row) for row in rows]
+                    for name, rows in snapshot.items()
+                }
+                if snapshot is not None
+                else None,
             )
-        except (KeyError, ValueError, TypeError) as exc:
+        except (KeyError, ValueError, TypeError, AttributeError) as exc:
             raise RecoveryError(f"malformed log record: {line!r}") from exc
 
 
+class WalSink:
+    """Stable-storage interface for WAL records.
+
+    The in-memory log is the source of truth for replay within a process;
+    a sink makes the records survive the process.  Implementations must
+    support appending a serialized record, flushing buffered appends (the
+    durability point), and atomically resetting to a new record sequence
+    (used by :meth:`WriteAheadLog.checkpoint`).
+    """
+
+    def append(self, line: str) -> None:
+        """Buffer one serialized record."""
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Make all buffered records durable."""
+        raise NotImplementedError
+
+    def reset(self, lines: Iterable[str]) -> None:
+        """Replace the sink's contents with ``lines`` (checkpoint/truncate)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources (no-op by default)."""
+
+
+class FileWalSink(WalSink):
+    """A JSON-lines file sink.
+
+    Args:
+        path: file to append records to (created if missing).
+        fsync: when True, :meth:`flush` additionally calls ``os.fsync`` so
+            the group-commit durability point survives OS crashes, not just
+            process crashes.  Off by default — the reproduction's tests
+            simulate crashes at process granularity.
+    """
+
+    def __init__(self, path: str | os.PathLike, *, fsync: bool = False) -> None:
+        self.path = os.fspath(path)
+        self.fsync = fsync
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    def append(self, line: str) -> None:
+        self._file.write(line + "\n")
+
+    def flush(self) -> None:
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+
+    def reset(self, lines: Iterable[str]) -> None:
+        self._file.close()
+        self._file = open(self.path, "w", encoding="utf-8")
+        for line in lines:
+            self._file.write(line + "\n")
+        self.flush()
+
+    def close(self) -> None:
+        self._file.close()
+
+    def read_text(self) -> str:
+        """The sink's current contents (for :meth:`WriteAheadLog.load`)."""
+        with open(self.path, "r", encoding="utf-8") as handle:
+            return handle.read()
+
+
 class WriteAheadLog:
-    """An append-only, in-memory write-ahead log.
+    """An append-only write-ahead log with optional stable storage.
 
     The log survives "crashes" simulated by discarding the
     :class:`~repro.relational.database.Database` object while keeping the
     log; :func:`repro.relational.recovery.recover_database` then rebuilds the
-    store.  The log can also round-trip through JSON lines to exercise real
-    persistence in tests.
+    store.  Attach a :class:`WalSink` to also survive process crashes; the
+    sink is flushed once per COMMIT/ABORT marker (group commit), so batched
+    store transactions amortise the durability write.
+
+    All methods are safe to call from multiple threads: the session layer's
+    writer loop and its grounding executor both produce records (never for
+    the same store transaction at the same time, but interleaved).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, sink: WalSink | None = None) -> None:
         self._records: list[LogRecord] = []
-        self._lsn = itertools.count(1)
+        self._next_lsn = 1
+        self._lock = threading.Lock()
+        self._sink = sink
+
+    # -- stable storage -----------------------------------------------------
+
+    @property
+    def sink(self) -> WalSink | None:
+        """The attached stable-storage sink, if any."""
+        return self._sink
+
+    def attach_sink(self, sink: WalSink) -> None:
+        """Attach stable storage, seeding it with the current records."""
+        with self._lock:
+            self._sink = sink
+            sink.reset(record.to_json() for record in self._records)
+
+    def flush(self) -> None:
+        """Force the durability point (normally reached per commit marker)."""
+        with self._lock:
+            if self._sink is not None:
+                self._sink.flush()
 
     # -- append -------------------------------------------------------------
 
@@ -102,17 +223,27 @@ class WriteAheadLog:
         transaction_id: int,
         table: str | None = None,
         values: Sequence[Any] | None = None,
+        snapshot: Mapping[str, Sequence[Sequence[Any]]] | None = None,
     ) -> LogRecord:
         """Append a record and return it."""
-        record = LogRecord(
-            lsn=next(self._lsn),
-            record_type=record_type,
-            transaction_id=transaction_id,
-            table=table,
-            values=tuple(values) if values is not None else None,
-        )
-        self._records.append(record)
-        return record
+        with self._lock:
+            record = LogRecord(
+                lsn=self._next_lsn,
+                record_type=record_type,
+                transaction_id=transaction_id,
+                table=table,
+                values=tuple(values) if values is not None else None,
+                snapshot=snapshot,
+            )
+            self._next_lsn += 1
+            self._records.append(record)
+            if self._sink is not None:
+                self._sink.append(record.to_json())
+                # Group commit: one durability flush per transaction outcome
+                # marker, covering every record buffered since the last one.
+                if record_type in (LogRecordType.COMMIT, LogRecordType.ABORT):
+                    self._sink.flush()
+            return record
 
     def log_begin(self, transaction_id: int) -> LogRecord:
         """Record the start of a transaction."""
@@ -142,41 +273,74 @@ class WriteAheadLog:
 
     def records(self) -> tuple[LogRecord, ...]:
         """All records in LSN order."""
-        return tuple(self._records)
+        with self._lock:
+            return tuple(self._records)
 
     def committed_transaction_ids(self) -> frozenset[int]:
         """Ids of all transactions with a COMMIT record."""
-        return frozenset(
-            r.transaction_id
-            for r in self._records
-            if r.record_type is LogRecordType.COMMIT
-        )
+        with self._lock:
+            return frozenset(
+                r.transaction_id
+                for r in self._records
+                if r.record_type is LogRecordType.COMMIT
+            )
 
     def __len__(self) -> int:
-        return len(self._records)
+        with self._lock:
+            return len(self._records)
 
     def __iter__(self) -> Iterator[LogRecord]:
-        return iter(self._records)
+        return iter(self.records())
 
     # -- persistence --------------------------------------------------------
 
     def dump(self) -> str:
         """Serialise the whole log as JSON lines."""
-        return "\n".join(record.to_json() for record in self._records)
+        return "\n".join(record.to_json() for record in self.records())
 
     @classmethod
-    def load(cls, text: str) -> "WriteAheadLog":
-        """Rebuild a log from :meth:`dump` output."""
-        log = cls()
+    def load(cls, text: str, sink: WalSink | None = None) -> "WriteAheadLog":
+        """Rebuild a log from :meth:`dump` output (or a sink's contents)."""
+        log = cls(sink)
         records = [
             LogRecord.from_json(line) for line in text.splitlines() if line.strip()
         ]
         records.sort(key=lambda r: r.lsn)
         log._records = records
-        last = records[-1].lsn if records else 0
-        log._lsn = itertools.count(last + 1)
+        log._next_lsn = (records[-1].lsn if records else 0) + 1
         return log
+
+    # -- truncation / checkpoints -------------------------------------------
 
     def truncate(self) -> None:
         """Discard all records (used after a full snapshot)."""
-        self._records.clear()
+        with self._lock:
+            self._records.clear()
+            if self._sink is not None:
+                self._sink.reset(())
+
+    def checkpoint(
+        self, snapshot: Mapping[str, Sequence[Sequence[Any]]]
+    ) -> LogRecord:
+        """Fold the log into a single CHECKPOINT record carrying ``snapshot``.
+
+        Every record logged so far is discarded — its effects are captured
+        by the snapshot — so recovery replays the snapshot restore plus only
+        the records appended *after* the checkpoint.  LSNs keep increasing
+        across checkpoints, preserving the total order of surviving records.
+
+        Returns:
+            The CHECKPOINT record.
+        """
+        with self._lock:
+            record = LogRecord(
+                lsn=self._next_lsn,
+                record_type=LogRecordType.CHECKPOINT,
+                transaction_id=0,
+                snapshot={name: tuple(rows) for name, rows in snapshot.items()},
+            )
+            self._next_lsn += 1
+            self._records = [record]
+            if self._sink is not None:
+                self._sink.reset((record.to_json(),))
+            return record

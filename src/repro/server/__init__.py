@@ -1,0 +1,74 @@
+"""Asyncio session layer: concurrent clients over one quantum database.
+
+The paper's admission model holds transactions in superposition and grounds
+them lazily — the expensive work (composition + grounding search) is
+naturally deferrable, and the PR-1 witness cache keeps the admission
+critical section short.  This package turns that into a serving layer:
+
+* :class:`QuantumServer` — owns the single-writer admission queue (every
+  mutation of the shared database flows through one audited entry point),
+  a group-commit drain (concurrent clients' commits share one durability
+  write), a thread-pool executor on which multi-partition grounding plans
+  run concurrently, and graceful shutdown (drain, WAL flush, snapshot
+  checkpoint).
+* :class:`Session` — one client's transaction stream: ``await
+  session.commit(tx)`` for the admission guarantee, ``commit_batch`` to
+  pipeline, ``read`` with isolated results, and ``on_grounding`` futures
+  that resolve when value assignments are finally fixed.
+
+Because the writer admits strictly in queue order through the ordinary
+synchronous path, accept/reject decisions are identical to calling
+:meth:`~repro.core.quantum_database.QuantumDatabase.execute` in the same
+arrival order — concurrency never changes semantics, only interleaving.
+See ``docs/architecture.md`` for the full design and
+``benchmarks/test_concurrent_sessions.py`` for the throughput experiment.
+
+Quickstart::
+
+    import asyncio
+    from repro import QuantumDatabase, QuantumServer
+
+    async def main():
+        qdb = QuantumDatabase()
+        qdb.create_table("Available", ["flight", "seat"], key=["flight", "seat"])
+        qdb.create_table("Bookings", ["passenger", "flight", "seat"], key=["flight", "seat"])
+        qdb.load_rows("Available", [(123, "5A"), (123, "5B")])
+        async with QuantumServer(qdb) as server:
+            async with server.session(client="Mickey") as session:
+                result = await session.commit(
+                    "-Available(?f, ?s), +Bookings('Mickey', ?f, ?s)"
+                    " :-1 Available(?f, ?s)"
+                )
+                assert result.committed and result.pending
+                seat = session.on_grounding(result.transaction_id)
+                await session.check_in(result.transaction_id)
+                print((await seat).valuation)
+
+    asyncio.run(main())
+"""
+
+from repro.server.service import (
+    QuantumServer,
+    ServerConfig,
+    ServerStatistics,
+    WorkItem,
+    WorkKind,
+)
+from repro.server.session import (
+    AdmissionResult,
+    GroundingTarget,
+    Session,
+    SessionStatistics,
+)
+
+__all__ = [
+    "AdmissionResult",
+    "GroundingTarget",
+    "QuantumServer",
+    "ServerConfig",
+    "ServerStatistics",
+    "Session",
+    "SessionStatistics",
+    "WorkItem",
+    "WorkKind",
+]

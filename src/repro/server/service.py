@@ -1,0 +1,558 @@
+"""The asyncio quantum-database server: sessions, queue, writer, executor.
+
+This module is the concurrency boundary of the reproduction: every mutation
+of the shared :class:`~repro.core.quantum_database.QuantumDatabase` flows
+through **one** audited entry point — the single-writer admission loop —
+while any number of client sessions submit work concurrently.  The design
+follows directly from the paper's model (see ``docs/architecture.md``):
+
+* **Single-writer admission queue.**  Sessions enqueue work items; one
+  writer task dequeues them and runs the ordinary synchronous admission
+  path, so accept/reject decisions are *identical* to calling
+  :meth:`QuantumDatabase.execute` in the same arrival order — concurrency
+  changes only the arrival interleaving, never the semantics.  The PR-1
+  witness cache is what makes this single writer viable: the admission
+  critical section is a witness-extension search, not a recomposition.
+
+* **Group commit.**  When several commits are queued (concurrent clients),
+  the writer drains them together and admits them via
+  :meth:`QuantumDatabase.commit_batch` — one durability write (and one WAL
+  group-commit flush) for the whole run instead of one per transaction.
+
+* **Concurrent grounding.**  Explicit grounding requests that span several
+  partitions run their read-only *plan* phase (the grounding search) on the
+  server's executor; partition independence (disjoint unifiable atoms ⇒
+  disjoint row footprints) makes the plans commute, so the mutating apply
+  phase can stay serial.  On a free-threaded build the searches truly run
+  in parallel; under the GIL they interleave — the architecture boundary is
+  identical either way.
+
+* **Graceful shutdown.**  ``shutdown()`` stops accepting work, drains the
+  queue (every already-enqueued item completes), resolves still-waiting
+  grounding futures with cancellation, flushes the WAL and folds it into a
+  snapshot checkpoint so recovery work stays bounded.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.core.parser import parse_transaction
+from repro.core.quantum_database import CommitResult, QuantumDatabase
+from repro.core.quantum_state import GroundedTransaction
+from repro.core.reads import ReadMode, ReadRequest
+from repro.core.resource_transaction import ResourceTransaction
+from repro.errors import QuantumError
+from repro.relational.wal import FileWalSink
+from repro.server.session import GroundingTarget, Session
+
+
+class WorkKind(enum.Enum):
+    """Kinds of items on the admission queue."""
+
+    COMMIT = "COMMIT"
+    BATCH = "BATCH"
+    READ = "READ"
+    WRITE = "WRITE"
+    GROUND = "GROUND"
+    GROUND_ALL = "GROUND_ALL"
+    CHECKPOINT = "CHECKPOINT"
+
+
+@dataclass
+class WorkItem:
+    """One unit of queued work plus the future its submitter awaits."""
+
+    kind: WorkKind
+    payload: Any
+    future: "asyncio.Future[Any]"
+
+
+#: Sentinel that tells the writer loop to exit after draining.
+_SHUTDOWN = object()
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Configuration of a :class:`QuantumServer`.
+
+    Attributes:
+        max_batch: upper bound on how many queued items the writer drains
+            per cycle; contiguous commit items within a drain are admitted
+            as one group commit.
+        executor_workers: thread count of the grounding-plan executor.
+        queue_depth: admission queue capacity; enqueues beyond it apply
+            backpressure (the session's coroutine waits).
+        checkpoint_on_shutdown: fold the WAL into a snapshot checkpoint
+            during graceful shutdown, bounding later recovery work.
+        wal_path: when set, attach a durable JSON-lines WAL sink at this
+            path on startup (group-commit flushed).  The path must be fresh
+            or empty: an existing log is recovery input, so ``start()``
+            refuses to overwrite it.
+        wal_fsync: additionally ``fsync`` the sink at each durability point.
+    """
+
+    max_batch: int = 64
+    executor_workers: int = 2
+    queue_depth: int = 1024
+    checkpoint_on_shutdown: bool = True
+    wal_path: str | None = None
+    wal_fsync: bool = False
+
+
+@dataclass
+class ServerStatistics:
+    """Server-level counters (exposed via ``statistics_report()``).
+
+    Attributes:
+        items: work items processed by the writer.
+        commits: single-commit items admitted.
+        batch_commits: transactions admitted through batch items.
+        commit_runs: group commits performed (contiguous commit runs).
+        max_commit_run: largest group commit.
+        drains: writer drain cycles.
+        max_drain: most items drained in one cycle.
+        queue_high_water: deepest observed queue.
+        reads / writes / grounds: non-commit items processed.
+        cancelled_before_admission: commits withdrawn before admission.
+        cancelled_after_admission: commits whose ack was cancelled after
+            the admission already happened (the commit stands).
+        grounding_futures_resolved: grounding notifications delivered.
+        searches_observed / search_nodes_observed: grounding-search
+            completions (and their node counts) streamed from the solver's
+            observer hook.
+    """
+
+    items: int = 0
+    commits: int = 0
+    batch_commits: int = 0
+    commit_runs: int = 0
+    max_commit_run: int = 0
+    drains: int = 0
+    max_drain: int = 0
+    queue_high_water: int = 0
+    reads: int = 0
+    writes: int = 0
+    grounds: int = 0
+    cancelled_before_admission: int = 0
+    cancelled_after_admission: int = 0
+    grounding_futures_resolved: int = 0
+    searches_observed: int = 0
+    search_nodes_observed: int = 0
+
+
+class QuantumServer:
+    """An asyncio session layer over one :class:`QuantumDatabase`.
+
+    Usable as an async context manager::
+
+        qdb = QuantumDatabase()
+        ...schema + data...
+        async with QuantumServer(qdb) as server:
+            async with server.session(client="mickey") as session:
+                result = await session.commit(request)
+
+    All sessions share the server's event loop; the server owns a writer
+    task (the single mutation point) and a thread-pool executor for the
+    read-only grounding plan phase.
+    """
+
+    def __init__(
+        self, qdb: QuantumDatabase, config: ServerConfig | None = None
+    ) -> None:
+        self.qdb = qdb
+        self.config = config or ServerConfig()
+        self.statistics = ServerStatistics()
+        self._queue: asyncio.Queue[WorkItem | object] | None = None
+        self._writer_task: asyncio.Task | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._sessions: dict[int, Session] = {}
+        self._session_ids = 0
+        self._closed = False
+        self._started = False
+        self._grounding_waiters: list[tuple[GroundingTarget, asyncio.Future]] = []
+        self._sink: FileWalSink | None = None
+        # Chain the grounding notification hook in front of the database's
+        # own housekeeping (pending-table delete, entanglement withdrawal).
+        self._chained_on_grounded = qdb.state.on_grounded
+        qdb.state.on_grounded = self._handle_grounded
+        qdb.state.cache.search.observer = self._observe_search
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """True once the server no longer accepts new work."""
+        return self._closed
+
+    async def start(self) -> "QuantumServer":
+        """Start the writer task and executor (idempotent).
+
+        Validation happens before any resource is created, so a failed
+        start leaves the server fully un-started (a retry with a fixed
+        configuration works; nothing leaks or hangs).
+        """
+        if self._started:
+            return self
+        if self.config.wal_path is not None:
+            # Attaching seeds the sink from the in-memory log, so a durable
+            # log from a previous (crashed) run must be recovered — never
+            # silently truncated — before a server may reuse its path.
+            try:
+                existing = os.path.getsize(self.config.wal_path)
+            except OSError:
+                existing = 0
+            if existing:
+                raise QuantumError(
+                    f"WAL file {self.config.wal_path!r} already holds records; "
+                    "recover from it (WriteAheadLog.load + recover_database + "
+                    "QuantumDatabase.recover) or point the server at a fresh "
+                    "path instead of overwriting the durable log"
+                )
+        self._queue = asyncio.Queue(maxsize=self.config.queue_depth)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.executor_workers,
+            thread_name_prefix="repro-grounding",
+        )
+        if self.config.wal_path is not None:
+            self._sink = FileWalSink(
+                self.config.wal_path, fsync=self.config.wal_fsync
+            )
+            self.qdb.database.wal.attach_sink(self._sink)
+        self._writer_task = asyncio.get_running_loop().create_task(
+            self._writer_loop(), name="repro-admission-writer"
+        )
+        self._started = True
+        return self
+
+    async def shutdown(self) -> None:
+        """Graceful shutdown: drain the queue, flush + checkpoint the WAL.
+
+        Already-enqueued work completes (FIFO order guarantees the shutdown
+        sentinel is processed last); new submissions raise
+        :class:`~repro.errors.QuantumError`.  Pending resource transactions
+        stay pending — they are durable in the pending-transactions table,
+        which the checkpoint snapshot preserves for recovery.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if not self._started:
+            return
+        assert self._queue is not None
+        await self._queue.put(_SHUTDOWN)
+        if self._writer_task is not None:
+            await self._writer_task
+        for session in list(self._sessions.values()):
+            session._closed = True
+        self._sessions.clear()
+        for _target, waiter in self._grounding_waiters:
+            if not waiter.done():
+                waiter.cancel()
+        self._grounding_waiters.clear()
+        if self.config.checkpoint_on_shutdown:
+            self.qdb.checkpoint()
+        self.qdb.database.wal.flush()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        # The sink stays attached (and open): the database outlives the
+        # server, and post-shutdown synchronous mutations must keep landing
+        # in the durable log for recovery to stay complete.
+        # Un-hook: the database outlives the server and must not funnel
+        # future groundings/searches through a dead instance.
+        if self.qdb.state.on_grounded == self._handle_grounded:
+            self.qdb.state.on_grounded = self._chained_on_grounded
+        if self.qdb.state.cache.search.observer == self._observe_search:
+            self.qdb.state.cache.search.observer = None
+
+    async def __aenter__(self) -> "QuantumServer":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.shutdown()
+
+    # -- sessions -----------------------------------------------------------
+
+    def session(self, client: str | None = None) -> Session:
+        """Open a new client session."""
+        if self._closed:
+            raise QuantumError("server is shut down")
+        self._session_ids += 1
+        session = Session(self, self._session_ids, client)
+        self._sessions[session.session_id] = session
+        return session
+
+    def _forget_session(self, session: Session) -> None:
+        self._sessions.pop(session.session_id, None)
+
+    @property
+    def session_count(self) -> int:
+        """Number of currently open sessions."""
+        return len(self._sessions)
+
+    # -- submission helpers (called by sessions) ----------------------------
+
+    @staticmethod
+    def _parse(
+        transaction: ResourceTransaction | str,
+        parse_kwargs: Mapping[str, Any],
+        *,
+        client: str | None,
+    ) -> ResourceTransaction:
+        if isinstance(transaction, ResourceTransaction):
+            return transaction
+        kwargs = dict(parse_kwargs)
+        if client is not None:
+            kwargs.setdefault("client", client)
+        return parse_transaction(transaction, **kwargs)
+
+    async def _enqueue(self, kind: WorkKind, payload: Any) -> Any:
+        if self._closed or not self._started:
+            raise QuantumError(
+                "server is not accepting work (not started or shut down)"
+            )
+        assert self._queue is not None
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        await self._queue.put(WorkItem(kind, payload, future))
+        depth = self._queue.qsize()
+        if depth > self.statistics.queue_high_water:
+            self.statistics.queue_high_water = depth
+        return await future
+
+    async def _submit_commit(
+        self, transaction: ResourceTransaction, session: Session
+    ) -> CommitResult:
+        return await self._enqueue(WorkKind.COMMIT, transaction)
+
+    async def _submit_batch(
+        self, transactions: list[ResourceTransaction], session: Session
+    ) -> list[CommitResult]:
+        return await self._enqueue(WorkKind.BATCH, transactions)
+
+    async def _submit_read(
+        self,
+        request: ReadRequest | str,
+        terms: Sequence[Any] | None,
+        *,
+        mode: ReadMode | None,
+        select: Sequence[str] | None,
+        limit: int | None,
+    ) -> list[dict[str, Any]]:
+        return await self._enqueue(
+            WorkKind.READ, (request, terms, mode, select, limit)
+        )
+
+    async def _submit_write(
+        self, operation: str, table: str, values: Sequence[Any]
+    ) -> None:
+        return await self._enqueue(WorkKind.WRITE, (operation, table, values))
+
+    async def _submit_ground(self, ids: list[int]) -> list[GroundedTransaction]:
+        return await self._enqueue(WorkKind.GROUND, ids)
+
+    async def ground_all(self) -> list[GroundedTransaction]:
+        """Ground every pending transaction (e.g. end of the booking day).
+
+        Runs at a writer serialization point; the grounding searches for
+        independent partitions are planned concurrently on the executor.
+        """
+        return await self._enqueue(WorkKind.GROUND_ALL, None)
+
+    async def checkpoint(self) -> None:
+        """Checkpoint the WAL at a writer serialization point."""
+        await self._enqueue(WorkKind.CHECKPOINT, None)
+
+    # -- the single-writer loop ---------------------------------------------
+
+    async def _writer_loop(self) -> None:
+        assert self._queue is not None
+        shutting_down = False
+        while not shutting_down:
+            item = await self._queue.get()
+            drained: list[WorkItem] = []
+            while True:
+                if item is _SHUTDOWN:
+                    shutting_down = True
+                else:
+                    drained.append(item)  # type: ignore[arg-type]
+                if shutting_down or len(drained) >= self.config.max_batch:
+                    break
+                try:
+                    item = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+            if drained:
+                self.statistics.drains += 1
+                if len(drained) > self.statistics.max_drain:
+                    self.statistics.max_drain = len(drained)
+                self._process_drained(drained)
+            # Yield so acked clients resume (and refill the queue) before
+            # the next drain; without this the writer would starve them.
+            await asyncio.sleep(0)
+
+    def _process_drained(self, drained: list[WorkItem]) -> None:
+        index = 0
+        while index < len(drained):
+            item = drained[index]
+            if item.kind is WorkKind.COMMIT:
+                run = [item]
+                while (
+                    index + len(run) < len(drained)
+                    and drained[index + len(run)].kind is WorkKind.COMMIT
+                ):
+                    run.append(drained[index + len(run)])
+                self._process_commit_run(run)
+                index += len(run)
+            else:
+                self._process_item(item)
+                index += 1
+
+    def _process_commit_run(self, run: list[WorkItem]) -> None:
+        """Admit a contiguous run of single commits as one group commit."""
+        live = []
+        for item in run:
+            self.statistics.items += 1
+            if item.future.cancelled():
+                # Withdrawn before admission: the transaction never enters
+                # the system, exactly as if it had not been submitted.
+                self.statistics.cancelled_before_admission += 1
+            else:
+                live.append(item)
+        if not live:
+            return
+        self.statistics.commit_runs += 1
+        self.statistics.commits += len(live)
+        if len(live) > self.statistics.max_commit_run:
+            self.statistics.max_commit_run = len(live)
+        try:
+            results = self.qdb.commit_batch([item.payload for item in live])
+        except Exception as exc:  # pragma: no cover - defensive
+            for item in live:
+                if not item.future.done():
+                    item.future.set_exception(exc)
+            return
+        for item, result in zip(live, results):
+            if item.future.cancelled():
+                # Too late to withdraw: the admission already happened and
+                # the commit guarantee stands (it remains durable and will
+                # be grounded normally); only the acknowledgement is lost.
+                self.statistics.cancelled_after_admission += 1
+            else:
+                item.future.set_result(result)
+
+    def _process_item(self, item: WorkItem) -> None:
+        self.statistics.items += 1
+        if item.future.cancelled():
+            self.statistics.cancelled_before_admission += 1
+            return
+        try:
+            result = self._dispatch(item)
+        except Exception as exc:
+            if not item.future.done():
+                item.future.set_exception(exc)
+            return
+        if not item.future.cancelled():
+            item.future.set_result(result)
+
+    def _dispatch(self, item: WorkItem) -> Any:
+        if item.kind is WorkKind.BATCH:
+            self.statistics.batch_commits += len(item.payload)
+            return self.qdb.commit_batch(item.payload)
+        if item.kind is WorkKind.READ:
+            self.statistics.reads += 1
+            request, terms, mode, select, limit = item.payload
+            bindings = self.qdb.read(
+                request, terms, mode=mode, select=select, limit=limit
+            )
+            # Isolation of read results: hand the session copies it owns.
+            return [dict(binding) for binding in bindings]
+        if item.kind is WorkKind.WRITE:
+            operation, table, values = item.payload
+            self.statistics.writes += 1
+            if operation == "insert":
+                self.qdb.insert(table, values)
+            else:
+                self.qdb.delete(table, values)
+            return None
+        if item.kind is WorkKind.CHECKPOINT:
+            self.qdb.checkpoint()
+            return None
+        if item.kind is WorkKind.GROUND:
+            self.statistics.grounds += 1
+            return self.qdb.ground(item.payload, executor=self._executor)
+        if item.kind is WorkKind.GROUND_ALL:
+            self.statistics.grounds += 1
+            return self.qdb.ground_all(executor=self._executor)
+        raise QuantumError(f"unknown work item kind {item.kind!r}")
+
+    # -- grounding notifications --------------------------------------------
+
+    def _register_grounding_waiter(
+        self, target: GroundingTarget
+    ) -> "asyncio.Future[GroundedTransaction]":
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        if isinstance(target, int):
+            record = self.qdb.state.grounded_results.get(target)
+            if record is not None:
+                future.set_result(record)
+                self.statistics.grounding_futures_resolved += 1
+                return future
+        self._grounding_waiters.append((target, future))
+        return future
+
+    @staticmethod
+    def _matches(target: GroundingTarget, record: GroundedTransaction) -> bool:
+        if isinstance(target, int):
+            return record.transaction_id == target
+        if isinstance(target, str):
+            return any(
+                statement.table == target for statement in record.statements
+            )
+        return bool(target(record))
+
+    def _handle_grounded(self, record: GroundedTransaction) -> None:
+        if self._chained_on_grounded is not None:
+            self._chained_on_grounded(record)
+        if not self._grounding_waiters:
+            return
+        remaining: list[tuple[GroundingTarget, asyncio.Future]] = []
+        for target, waiter in self._grounding_waiters:
+            if waiter.done():
+                continue
+            if self._matches(target, record):
+                waiter.set_result(record)
+                self.statistics.grounding_futures_resolved += 1
+            else:
+                remaining.append((target, waiter))
+        self._grounding_waiters = remaining
+
+    def _observe_search(self, _formula, stats) -> None:
+        self.statistics.searches_observed += 1
+        self.statistics.search_nodes_observed += stats.nodes
+
+    # -- reporting -----------------------------------------------------------
+
+    def statistics_report(self) -> dict[str, Any]:
+        """The database's flattened counters plus the server's own.
+
+        Extends :meth:`QuantumDatabase.statistics_report` with a
+        ``server.*`` section, so benchmarks can diff concurrent against
+        synchronous runs with one mapping.
+        """
+        report = self.qdb.statistics_report()
+        for name, value in vars(self.statistics).items():
+            report[f"server.{name}"] = value
+        report["server.sessions_open"] = self.session_count
+        return report
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else ("running" if self._started else "new")
+        return (
+            f"<QuantumServer {state} sessions={self.session_count} "
+            f"items={self.statistics.items}>"
+        )

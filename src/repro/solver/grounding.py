@@ -24,8 +24,9 @@ solution cache and ultimately uses to execute the pending update portions.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, Mapping, Sequence
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import FormulaError, GroundingError
 from repro.logic.atoms import Atom
@@ -88,17 +89,31 @@ class GroundingResult:
 
 
 class GroundingSearch:
-    """Backtracking grounding search over a relational database."""
+    """Backtracking grounding search over a relational database.
+
+    Searches are *reentrant*: all per-search state (the node budget, the
+    work counters) lives in the call frame, so several searches may run
+    concurrently on the same instance — the session layer's grounding
+    planner fans the plan phase for independent partitions out to an
+    executor (see ``docs/architecture.md``, "Concurrent grounding").  The
+    shared ``totals`` accumulator is guarded by a lock; the database itself
+    must not be mutated while searches are in flight (the single-writer
+    admission loop guarantees that).
+    """
 
     def __init__(self, database: Database) -> None:
         self.database = database
-        #: Node budget of the currently running search (see :meth:`find_one`).
-        self._node_budget: int | None = None
         #: Counters accumulated over every search this instance ever ran;
         #: benchmarks read these to report total grounding work.
         self.totals = GroundingStatistics()
         #: Number of :meth:`find` invocations (searches started).
         self.searches = 0
+        #: Optional callback invoked (under the totals lock) after every
+        #: search completes, with the searched formula and its work
+        #: counters.  The session layer uses it to stream per-server search
+        #: statistics without polling.
+        self.observer: Callable[[Formula, GroundingStatistics], None] | None = None
+        self._totals_lock = threading.Lock()
 
     # -- public API ---------------------------------------------------------
 
@@ -184,13 +199,15 @@ class GroundingSearch:
             frozenset(required) if required is not None else simplified.free_variables()
         )
         stats = GroundingStatistics()
-        self._node_budget = node_budget
-        self.searches += 1
+        with self._totals_lock:
+            self.searches += 1
         start = initial or Substitution.empty()
         count = 0
         seen: set[frozenset] = set()
         try:
-            for substitution in self._search([simplified], start, [], stats):
+            for substitution in self._search(
+                [simplified], start, [], stats, node_budget
+            ):
                 grounded = self._close(substitution, required_vars)
                 if grounded is None:
                     continue
@@ -210,7 +227,11 @@ class GroundingSearch:
             # Runs both on exhaustion and when the caller closes the
             # generator early (e.g. find_one), so the totals always include
             # this search's work.
-            self.totals.add(stats)
+            with self._totals_lock:
+                self.totals.add(stats)
+                observer = self.observer
+                if observer is not None:
+                    observer(simplified, stats)
 
     def _search(
         self,
@@ -218,10 +239,11 @@ class GroundingSearch:
         substitution: Substitution,
         deferred: list[Formula],
         stats: GroundingStatistics,
+        node_budget: int | None,
     ) -> Iterator[Substitution]:
         """Recursive backtracking over the conjunction ``parts``."""
         stats.nodes += 1
-        if self._node_budget is not None and stats.nodes > self._node_budget:
+        if node_budget is not None and stats.nodes > node_budget:
             stats.exhausted_budget = True
             return
         if not parts:
@@ -232,13 +254,15 @@ class GroundingSearch:
         rest = parts[:index] + parts[index + 1 :]
 
         if part is TRUE:
-            yield from self._search(rest, substitution, deferred, stats)
+            yield from self._search(rest, substitution, deferred, stats, node_budget)
             return
         if part is FALSE:
             stats.backtracks += 1
             return
         if isinstance(part, Conjunction):
-            yield from self._search(list(part.parts) + rest, substitution, deferred, stats)
+            yield from self._search(
+                list(part.parts) + rest, substitution, deferred, stats, node_budget
+            )
             return
         if isinstance(part, Equality):
             unified = unify_terms(part.left, part.right, substitution)
@@ -249,7 +273,7 @@ class GroundingSearch:
             if not ok:
                 stats.backtracks += 1
                 return
-            yield from self._search(rest, unified, still_deferred, stats)
+            yield from self._search(rest, unified, still_deferred, stats, node_budget)
             return
         if isinstance(part, Negation):
             # Evaluate immediately when already decidable; otherwise keep it
@@ -261,14 +285,18 @@ class GroundingSearch:
                 stats.backtracks += 1
                 return
             if decision is True:
-                yield from self._search(rest, substitution, deferred, stats)
+                yield from self._search(rest, substitution, deferred, stats, node_budget)
             else:
-                yield from self._search(rest, substitution, deferred + [part], stats)
+                yield from self._search(
+                    rest, substitution, deferred + [part], stats, node_budget
+                )
             return
         if isinstance(part, Disjunction):
             stats.choice_points += 1
             for branch in part.parts:
-                yield from self._search([branch] + rest, substitution, deferred, stats)
+                yield from self._search(
+                    [branch] + rest, substitution, deferred, stats, node_budget
+                )
             return
         if isinstance(part, AtomFormula):
             stats.choice_points += 1
@@ -277,7 +305,7 @@ class GroundingSearch:
                 if not ok:
                     stats.backtracks += 1
                     continue
-                yield from self._search(rest, extended, still_deferred, stats)
+                yield from self._search(rest, extended, still_deferred, stats, node_budget)
             return
         raise FormulaError(f"unsupported formula node {part!r}")
 

@@ -22,7 +22,7 @@ from repro.core.quantum_database import QuantumDatabase
 from repro.core.recovery import PendingTransactionStore
 from repro.relational.database import Database
 from repro.relational.recovery import recover_database, replay_into
-from repro.relational.wal import LogRecordType, WriteAheadLog
+from repro.relational.wal import FileWalSink, LogRecordType, WriteAheadLog
 
 
 def make_schema() -> Database:
@@ -187,3 +187,91 @@ class TestQuantumPendingRoundTrip:
             qdb.config,
         )
         assert recovered.pending_count == 2
+
+
+class TestCheckpoint:
+    """Snapshot checkpoints bound the replay tail without losing effects."""
+
+    def test_checkpoint_folds_log_and_recovers_identically(self):
+        database = make_schema()
+        with database.begin() as txn:
+            txn.insert("Seats", (1, "1A"))
+            txn.insert("Seats", (1, "1B"))
+        with database.begin() as txn:
+            txn.delete("Seats", (1, "1A"))
+        before = set(database.table("Seats").snapshot())
+        assert len(database.wal) > 1
+
+        database.checkpoint()
+        records = database.wal.records()
+        assert [r.record_type for r in records] == [LogRecordType.CHECKPOINT]
+        recovered = crash_and_recover(database, through_json=True)
+        assert set(recovered.table("Seats").snapshot()) == before
+
+    def test_post_checkpoint_tail_replays_on_top_of_snapshot(self):
+        database = make_schema()
+        with database.begin() as txn:
+            txn.insert("Seats", (1, "1A"))
+        database.checkpoint()
+        with database.begin() as txn:
+            txn.insert("Seats", (1, "1B"))
+        partial = database.begin()
+        partial.insert("Seats", (1, "1C"))  # crash before COMMIT
+
+        recovered = crash_and_recover(database, through_json=True)
+        assert set(recovered.table("Seats").snapshot()) == {(1, "1A"), (1, "1B")}
+        # LSNs keep increasing across the checkpoint boundary.
+        lsns = [r.lsn for r in recovered.wal.records()]
+        assert lsns == sorted(lsns)
+
+    def test_checkpoint_preserves_pending_transactions(self):
+        schema = TestQuantumPendingRoundTrip().quantum_schema
+        qdb = QuantumDatabase(schema())
+        qdb.load_rows("Available", [(7, "1A"), (7, "1B")])
+        result = qdb.execute(
+            "-Available(7, ?s), +Bookings('Mickey', 7, ?s) :-1 Available(7, ?s)"
+        )
+        assert result.pending
+        qdb.checkpoint()
+        recovered = QuantumDatabase.recover(
+            recover_database(schema, WriteAheadLog.load(qdb.database.wal.dump())),
+            qdb.config,
+        )
+        assert recovered.pending_count == 1
+        assert recovered.state.is_pending(result.transaction_id)
+
+    def test_group_commit_flushes_sink_per_commit_marker(self, tmp_path):
+        class CountingSink(FileWalSink):
+            def __init__(self, path):
+                super().__init__(path)
+                self.flushes = 0
+
+            def flush(self):
+                self.flushes += 1
+                super().flush()
+
+        sink = CountingSink(tmp_path / "wal.jsonl")
+        database = make_schema()
+        database.wal.attach_sink(sink)
+        flushes_after_attach = sink.flushes
+        with database.begin() as txn:
+            txn.insert("Seats", (1, "1A"))
+            txn.insert("Seats", (1, "1B"))
+            txn.insert("Seats", (1, "1C"))
+        # One durability flush for the whole transaction, not one per row.
+        assert sink.flushes == flushes_after_attach + 1
+        reloaded = WriteAheadLog.load(sink.read_text())
+        assert len(reloaded) == len(database.wal)
+
+    def test_checkpoint_refuses_while_transactions_active(self):
+        from repro.errors import TransactionError
+
+        database = make_schema()
+        txn = database.begin()
+        txn.insert("Seats", (1, "1A"))
+        with pytest.raises(TransactionError):
+            database.checkpoint()
+        txn.abort()
+        database.checkpoint()  # fine once nothing is in flight
+        recovered = crash_and_recover(database, through_json=True)
+        assert len(recovered.table("Seats")) == 0  # the abort was honoured
