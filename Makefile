@@ -7,6 +7,9 @@
 #   make bench   - the full benchmark suite (regenerates every figure/table)
 #
 # Set REPRO_BENCH_SCALE=paper for the paper-sized benchmark parameters.
+# The smoke pass refreshes BENCH_admission.json (admission throughput and
+# merged_for scan counts per shard count), tracking the admission-path
+# perf trajectory across PRs.
 
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest

@@ -55,6 +55,9 @@ subpackages are:
 * :mod:`repro.core` — the quantum database middle tier (the paper's
   contribution);
 * :mod:`repro.server` — the asyncio session layer for concurrent clients;
+* :mod:`repro.sharding` — sharded partition execution: the signature-based
+  routing index (``QuantumConfig(shards=N)``), worker shards and the
+  cross-shard merge path;
 * :mod:`repro.relational` — the extensional store substrate (replacing the
   paper's MySQL), including the WAL with group commit and checkpoints;
 * :mod:`repro.logic` — terms, atoms, unification and composed-body
@@ -84,6 +87,7 @@ from repro.core.solution_cache import SolutionCacheStatistics, Witness
 from repro.errors import (
     QuantumError,
     ReproError,
+    SessionBackpressure,
     TransactionRejected,
     WriteRejected,
 )
@@ -92,16 +96,23 @@ from repro.relational.planner import PlannerConfig
 from repro.relational.wal import FileWalSink, WriteAheadLog
 from repro.server import (
     AdmissionResult,
+    CheckpointPolicy,
     QuantumServer,
     ServerConfig,
     Session,
     SessionStatistics,
+)
+from repro.sharding import (
+    Shard,
+    ShardedPartitionManager,
+    SignatureIndex,
 )
 
 __version__ = "0.2.0"
 
 __all__ = [
     "AdmissionResult",
+    "CheckpointPolicy",
     "CommitResult",
     "Database",
     "EntangledResourceTransaction",
@@ -120,7 +131,11 @@ __all__ = [
     "SerializabilityMode",
     "ServerConfig",
     "Session",
+    "SessionBackpressure",
     "SessionStatistics",
+    "Shard",
+    "ShardedPartitionManager",
+    "SignatureIndex",
     "SolutionCacheStatistics",
     "TransactionRejected",
     "Witness",

@@ -21,18 +21,34 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import QuantumError
+from repro.logic.atoms import Atom, AtomKind
+from repro.logic.unification import unifiable
 from repro.relational.planner import MYSQL_JOIN_LIMIT
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.partition import Partition
     from repro.core.quantum_state import PendingTransaction
+    from repro.core.solution_cache import SolutionCache
 
 
 class GroundingStrategy(enum.Enum):
-    """Victim-selection order for forced grounding."""
+    """Victim-selection order for forced grounding.
+
+    ``OLDEST_FIRST`` / ``NEWEST_FIRST`` are the paper's arrival-time
+    orders.  ``WITNESS_AWARE`` scores each candidate victim by how many
+    cached witness rows its update portion could invalidate (a delete atom
+    that unifies with a witnessed row is a potential invalidation) and
+    grounds the cheapest victims first, ties broken oldest-first.  Broadly
+    quantified updates — "any seat" — unify with many witnessed rows and
+    therefore stay pending, which keeps the flexible transactions able to
+    rebind around later constant-pinned arrivals instead of freezing their
+    choices early; the witness-cache fast path stays hot for longer (see
+    ``tests/core/test_witness_aware_policy.py``).
+    """
 
     OLDEST_FIRST = "OLDEST_FIRST"
     NEWEST_FIRST = "NEWEST_FIRST"
+    WITNESS_AWARE = "WITNESS_AWARE"
 
 
 @dataclass(frozen=True)
@@ -54,20 +70,78 @@ class GroundingPolicy:
         if self.k < 1:
             raise QuantumError("the grounding bound k must be at least 1")
 
-    def victims(self, partition: "Partition") -> list["PendingTransaction"]:
+    def victims(
+        self,
+        partition: "Partition",
+        cache: "SolutionCache | None" = None,
+    ) -> list["PendingTransaction"]:
         """Pending transactions that must be grounded to restore the bound.
 
         Returns the transactions to ground, in the order they should be
         grounded, so that at most ``k`` remain pending afterwards.  Empty
         when the partition is already within bounds.
+
+        Args:
+            partition: the partition exceeding the bound.
+            cache: the solution cache, consulted by the ``WITNESS_AWARE``
+                strategy to score victims by the cached witness rows their
+                updates could invalidate.  Without a cache the strategy
+                degrades to oldest-first.
         """
         excess = len(partition) - self.k
         if excess <= 0:
             return []
         ordered = sorted(partition.pending, key=lambda entry: entry.sequence)
-        if self.strategy is GroundingStrategy.OLDEST_FIRST:
-            return ordered[:excess]
-        return list(reversed(ordered[-excess:]))
+        if self.strategy is GroundingStrategy.NEWEST_FIRST:
+            return list(reversed(ordered[-excess:]))
+        if self.strategy is GroundingStrategy.WITNESS_AWARE and cache is not None:
+            witness_rows = self._witnessed_rows(partition, cache)
+            ordered.sort(
+                key=lambda entry: (
+                    self._invalidation_cost(entry, witness_rows),
+                    entry.sequence,
+                )
+            )
+        return ordered[:excess]
+
+    @staticmethod
+    def _witnessed_rows(
+        partition: "Partition", cache: "SolutionCache"
+    ) -> list[Atom]:
+        """The rows the partition's own witness grounds on, as ground atoms.
+
+        Only the victim partition's witness can contribute: a row in
+        *another* partition's footprint is a ground instance of that
+        partition's atoms, so a victim's delete unifying with it would
+        make the two partitions unifiable — contradicting the partition
+        independence invariant.  Scoring therefore stays O(one witness).
+        """
+        witness = cache.witness_for(partition)
+        if witness is None:
+            return []
+        return [Atom.body(table, values) for table, values in witness.rows]
+
+    @staticmethod
+    def _invalidation_cost(
+        entry: "PendingTransaction", witness_rows: Sequence[Atom]
+    ) -> int:
+        """Cached witness rows the entry's delete atoms could touch.
+
+        A delete atom that unifies with a witnessed row *could* remove it
+        when the grounding is executed; the more rows a victim's updates
+        reach, the more cached fast-path state its forced grounding puts at
+        risk.  (Inserts never invalidate the monotone witnesses composed
+        bodies produce, so only deletes are scored.)
+        """
+        cost = 0
+        for update in entry.renamed.updates:
+            if update.kind is not AtomKind.DELETE:
+                continue
+            probe = update.as_body()
+            for row in witness_rows:
+                if unifiable(probe, row):
+                    cost += 1
+        return cost
 
     def within_bound(self, partition: "Partition") -> bool:
         """True if the partition respects the ``k`` bound."""

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 from repro.core.composition import IncrementalComposition, compose_sequence
 from repro.logic.atoms import Atom
@@ -52,6 +52,15 @@ class Partition:
         #: Incrementally maintained composed body (hard atoms only); rebuilt
         #: lazily after structural changes (merges, groundings).
         self._composition: IncrementalComposition | None = None
+        #: Observer invoked after every structural change to the pending
+        #: sequence.  Receives the partition and, for an append, the entry
+        #: just added (``None`` for removals and whole-sequence assignment,
+        #: which require a full re-scan).  The sharded partition manager uses
+        #: this to keep its signature index and pending table current even
+        #: though admission and grounding mutate partitions directly.
+        self.on_structural_change: (
+            Callable[["Partition", "PendingTransaction | None"], None] | None
+        ) = None
 
     @property
     def pending(self) -> tuple["PendingTransaction", ...]:
@@ -68,6 +77,8 @@ class Partition:
     def pending(self, entries: Iterable["PendingTransaction"]) -> None:
         self._pending = list(entries)
         self._composition = None
+        if self.on_structural_change is not None:
+            self.on_structural_change(self, None)
 
     # -- introspection -------------------------------------------------------
 
@@ -130,16 +141,29 @@ class Partition:
         """
         return len(self.composed_formula().atoms())
 
-    def overlaps_atoms(self, atoms: Iterable[Atom]) -> bool:
+    def overlaps_atoms(
+        self,
+        atoms: Iterable[Atom],
+        statistics: "PartitionStatistics | None" = None,
+    ) -> bool:
         """True if any given atom unifies with any atom of this partition.
 
         This is the conservative unification-based independence test of the
         paper: transactions that cannot unify anywhere can never interact.
+
+        Args:
+            atoms: the probe atoms (body view is taken of both sides).
+            statistics: when given, every pairwise unification attempt is
+                counted into ``statistics.unification_checks`` — the scan
+                work the signature index exists to avoid.
         """
         own = self.atoms()
         for atom in atoms:
+            probe = atom.as_body()
             for other in own:
-                if unifiable(atom.as_body(), other.as_body()):
+                if statistics is not None:
+                    statistics.unification_checks += 1
+                if unifiable(probe, other.as_body()):
                     return True
         return False
 
@@ -158,11 +182,15 @@ class Partition:
         self._pending.append(entry)
         if self._composition is not None:
             self._composition.append(entry.renamed, factor)
+        if self.on_structural_change is not None:
+            self.on_structural_change(self, entry)
 
     def remove(self, entry: "PendingTransaction") -> None:
         """Remove a pending transaction (after it has been grounded)."""
         self._pending.remove(entry)
         self._composition = None
+        if self.on_structural_change is not None:
+            self.on_structural_change(self, None)
 
     def invalidate_solution(self) -> None:
         """Drop the cached solution (after a write invalidated it)."""
@@ -191,11 +219,24 @@ class Partition:
 
 @dataclass
 class PartitionStatistics:
-    """Counters describing partition dynamics (reported by experiments)."""
+    """Counters describing partition dynamics (reported by experiments).
+
+    Attributes:
+        merges: merge-on-overlap events (two or more partitions combined).
+        max_partition_size: largest pending sequence ever observed.
+        max_composed_atoms: widest composed body ever observed.
+        unification_checks: pairwise ``unifiable`` probes spent in overlap
+            scans (``merged_for``, write validation, read routing) — the
+            admission-path cost the signature index prefilters away.
+        scanned_partitions: partitions whose atoms were exactly scanned by
+            an overlap query.
+    """
 
     merges: int = 0
     max_partition_size: int = 0
     max_composed_atoms: int = 0
+    unification_checks: int = 0
+    scanned_partitions: int = 0
 
 
 class PartitionManager:
@@ -233,8 +274,18 @@ class PartitionManager:
     # -- admission -----------------------------------------------------------
 
     def overlapping_partitions(self, atoms: Sequence[Atom]) -> list[Partition]:
-        """Partitions whose atoms unify with any of ``atoms``."""
-        return [p for p in self.partitions if p.overlaps_atoms(atoms)]
+        """Partitions whose atoms unify with any of ``atoms``.
+
+        The base implementation is the exhaustive pairwise-unification scan
+        of the paper; :class:`~repro.sharding.ShardedPartitionManager`
+        overrides it with a signature-index prefilter that scans only the
+        candidate partitions (bit-identical results — the index is
+        conservative and every candidate is still exactly confirmed).
+        """
+        self.statistics.scanned_partitions += len(self.partitions)
+        return [
+            p for p in self.partitions if p.overlaps_atoms(atoms, self.statistics)
+        ]
 
     def merged_for(self, atoms: Sequence[Atom]) -> tuple[Partition, bool]:
         """Return the partition a transaction with ``atoms`` belongs to.
@@ -248,16 +299,19 @@ class PartitionManager:
         if not overlapping:
             partition = Partition()
             self.partitions.append(partition)
+            self._on_partition_created(partition)
             return partition, False
         if len(overlapping) == 1:
             return overlapping[0], False
         merged = overlapping[0]
+        absorbed = overlapping[1:]
         entries = [entry for partition in overlapping for entry in partition]
         entries.sort(key=lambda e: e.sequence)
+        for other in absorbed:
+            self.partitions.remove(other)
+        self._on_partitions_merging(merged, absorbed)
         merged.pending = entries
         merged.invalidate_solution()
-        for other in overlapping[1:]:
-            self.partitions.remove(other)
         self.statistics.merges += 1
         return merged, True
 
@@ -265,6 +319,24 @@ class PartitionManager:
         """Remove ``partition`` from the manager when it has no pending txns."""
         if not partition.pending and partition in self.partitions:
             self.partitions.remove(partition)
+            self._on_partition_dropped(partition)
+
+    # -- subclass hooks ------------------------------------------------------
+
+    def _on_partition_created(self, partition: Partition) -> None:
+        """Called after a fresh partition joined the manager (no-op here)."""
+
+    def _on_partitions_merging(
+        self, merged: Partition, absorbed: Sequence[Partition]
+    ) -> None:
+        """Called while ``absorbed`` partitions fold into ``merged``.
+
+        Runs after the absorbed partitions left the partition list but
+        before the merged pending sequence is assigned (no-op here).
+        """
+
+    def _on_partition_dropped(self, partition: Partition) -> None:
+        """Called after an emptied partition left the manager (no-op here)."""
 
     def record_sizes(self) -> None:
         """Update the high-water-mark statistics."""

@@ -82,6 +82,17 @@ class QuantumConfig:
             the amount of re-search differs — the cache statistics (witness
             hits / misses / invalidations / fallback searches) report the
             difference.
+        shards: number of partition shards (default 1: the plain
+            exhaustive-scan partition manager).  With ``shards >= 2`` the
+            database uses the :mod:`repro.sharding` subsystem: a
+            signature-based routing index prefilters ``merged_for``
+            candidates and partitions are owned by worker shards whose
+            executors the grounding plan phase fans out on.  Accept/reject
+            decisions are bit-identical to the unsharded path — only the
+            scan work changes (the ``partitions.*`` counters report it).
+        shard_workers: thread count of each shard's plan executor.  On a
+            sharded database grounding plans always run on these (the
+            session layer's shared ``executor_workers`` pool is bypassed).
         planner: join-planner settings for the underlying store.
     """
 
@@ -91,11 +102,35 @@ class QuantumConfig:
     read_mode: ReadMode = ReadMode.COLLAPSE
     ground_on_partner_arrival: bool = True
     witness_cache: bool = True
+    shards: int = 1
+    shard_workers: int = 1
     planner: PlannerConfig = field(default_factory=PlannerConfig)
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise QuantumError("QuantumConfig.shards must be at least 1")
+        if self.shard_workers < 1:
+            raise QuantumError("QuantumConfig.shard_workers must be at least 1")
 
     def policy(self) -> GroundingPolicy:
         """The grounding policy implied by this configuration."""
         return GroundingPolicy(k=self.k, strategy=self.strategy)
+
+    def partition_manager(self):
+        """The partition manager implied by this configuration.
+
+        ``shards == 1`` keeps the plain exhaustive-scan manager;
+        ``shards >= 2`` builds a
+        :class:`~repro.sharding.ShardedPartitionManager` (signature-routed
+        admission, per-shard grounding-plan executors).
+        """
+        if self.shards == 1:
+            return None
+        from repro.sharding import ShardedPartitionManager
+
+        return ShardedPartitionManager(
+            self.shards, workers_per_shard=self.shard_workers
+        )
 
 
 @dataclass
@@ -150,6 +185,7 @@ class QuantumDatabase:
             serializability=self.config.serializability,
             on_grounded=self._handle_grounded,
             witness_cache=self.config.witness_cache,
+            partitions=self.config.partition_manager(),
         )
 
     # ------------------------------------------------------------------
@@ -432,6 +468,23 @@ class QuantumDatabase:
         return self.state.pending_count()
 
     @property
+    def sharded(self) -> bool:
+        """True when partition execution is sharded (``shards >= 2``)."""
+        return self.config.shards > 1
+
+    def close(self) -> None:
+        """Release executor resources (the shard workers), if any.
+
+        Idempotent and optional — the shard executors are created lazily
+        and a database that never fanned grounding plans out holds no
+        threads — but benchmarks and servers that cycle through many
+        databases should call it.
+        """
+        close = getattr(self.state.partitions, "close", None)
+        if close is not None:
+            close()
+
+    @property
     def statistics(self):
         """The quantum state's counters (admissions, groundings, ...)."""
         return self.state.statistics
@@ -463,6 +516,11 @@ class QuantumDatabase:
             self.state.cache.statistics.composed_body_passes()
         )
         report["search.searches"] = self.state.cache.search.searches
+        index = getattr(self.state.partitions, "index", None)
+        if index is not None:
+            for name, value in vars(index.statistics).items():
+                report[f"routing.{name}"] = value
+            report["routing.shards"] = self.state.partitions.shard_count
         return report
 
     def coordination_report(self) -> dict[str, float]:

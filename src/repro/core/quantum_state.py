@@ -194,11 +194,17 @@ class QuantumState:
         serializability: SerializabilityMode = SerializabilityMode.SEMANTIC,
         on_grounded: Callable[[GroundedTransaction], None] | None = None,
         witness_cache: bool = True,
+        partitions: PartitionManager | None = None,
     ) -> None:
         self.database = database
         self.policy = policy or GroundingPolicy()
         self.serializability = serializability
-        self.partitions = PartitionManager()
+        #: The partition manager: the plain exhaustive-scan one by default,
+        #: or an injected :class:`~repro.sharding.ShardedPartitionManager`
+        #: (``QuantumConfig(shards=N)``) that routes admissions through the
+        #: signature index and fans grounding plans out per shard.  Both
+        #: produce bit-identical accept/reject decisions.
+        self.partitions = partitions if partitions is not None else PartitionManager()
         self.cache = SolutionCache(database, enable_witness=witness_cache)
         self.statistics = QuantumStateStatistics()
         self.grounded_results: dict[int, GroundedTransaction] = {}
@@ -315,7 +321,7 @@ class QuantumState:
 
     def _enforce_bound(self, partition: Partition) -> None:
         """Force-ground transactions until the ``k`` bound is respected."""
-        victims = self.policy.victims(partition)
+        victims = self.policy.victims(partition, cache=self.cache)
         if not victims:
             return
         self.statistics.forced_groundings += len(victims)
@@ -362,7 +368,24 @@ class QuantumState:
             grouped.setdefault(partition.partition_id, (partition, []))[1].append(entry)
         groups = list(grouped.values())
         results: list[GroundedTransaction] = []
-        if executor is not None and len(groups) > 1:
+        plan_on_shards = getattr(self.partitions, "plan_on_shards", None)
+        if (
+            plan_on_shards is not None
+            and getattr(self.partitions, "shard_count", 1) > 1
+            and len(groups) > 1
+        ):
+            # Sharded execution: each partition's read-only plan runs on
+            # the executor of the shard that owns it; the mutating apply
+            # phase stays serial, in deterministic group order.
+            planned = plan_on_shards(
+                groups,
+                lambda partition, entries: self.plan_grounding(
+                    partition, entries, forced=forced
+                ),
+            )
+            for plan in planned:
+                results.extend(self.apply_grounding(plan))
+        elif executor is not None and len(groups) > 1:
             planned = list(
                 executor.map(
                     lambda group: self.plan_grounding(
@@ -708,9 +731,17 @@ class QuantumState:
         criterion based on unifiability": if a relational atom of the read
         unifies with a pending update, that transaction's values must be
         fixed before the read can be answered.
+
+        The scan is restricted to partitions whose atoms overlap the read
+        (via the partition manager, so the sharded signature index
+        prefilters it): an update that unifies with a read atom makes its
+        whole partition overlap, hence the restriction loses nothing.
         """
+        candidates = self.partitions.overlapping_partitions(atoms)
+        entries = [entry for partition in candidates for entry in partition]
+        entries.sort(key=lambda e: e.sequence)
         affected: list[PendingTransaction] = []
-        for entry in self.pending_transactions():
+        for entry in entries:
             for update in entry.renamed.updates:
                 if any(unifiable(update.as_body(), atom.as_body()) for atom in atoms):
                     affected.append(entry)
@@ -738,8 +769,8 @@ class QuantumState:
         write_atoms = [_statement_atom(s) for s in statements]
         affected = [
             partition
-            for partition in self.partitions
-            if partition.pending and partition.overlaps_atoms(write_atoms)
+            for partition in self.partitions.overlapping_partitions(write_atoms)
+            if partition.pending
         ]
         txn = self.database.begin()
         deltas: list[tuple[str, tuple, bool]] = []

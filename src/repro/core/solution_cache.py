@@ -234,6 +234,14 @@ class SolutionCache:
         """Forget the witness of a partition (merge, emptying, rejection)."""
         self._witnesses.pop(partition_id, None)
 
+    def witnesses(self) -> dict[int, Witness]:
+        """Snapshot of the stored witnesses (partition id → witness).
+
+        Introspection for tests and diagnostics; no staleness check is
+        applied (use :meth:`witness_for` for a structurally current one).
+        """
+        return dict(self._witnesses)
+
     def retain(self, partition_ids: Iterable[int]) -> None:
         """Drop every witness whose partition no longer exists.
 

@@ -149,5 +149,15 @@ class QuantumStateError(QuantumError):
     """The quantum state violates its invariant (internal error)."""
 
 
+class SessionBackpressure(QuantumError):
+    """A session exceeded its per-session queue quota.
+
+    Raised by the server instead of letting one client's backlog occupy
+    the whole admission queue and starve other sessions.  The submission
+    was *not* enqueued; the client should retry after its in-flight
+    operations complete.
+    """
+
+
 class QuantumRecoveryError(QuantumError):
     """The pending-transactions table could not be restored after a crash."""

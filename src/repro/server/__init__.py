@@ -48,6 +48,7 @@ Quickstart::
 """
 
 from repro.server.service import (
+    CheckpointPolicy,
     QuantumServer,
     ServerConfig,
     ServerStatistics,
@@ -63,6 +64,7 @@ from repro.server.session import (
 
 __all__ = [
     "AdmissionResult",
+    "CheckpointPolicy",
     "GroundingTarget",
     "QuantumServer",
     "ServerConfig",

@@ -38,6 +38,7 @@ from __future__ import annotations
 import asyncio
 import enum
 import os
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
@@ -47,7 +48,7 @@ from repro.core.quantum_database import CommitResult, QuantumDatabase
 from repro.core.quantum_state import GroundedTransaction
 from repro.core.reads import ReadMode, ReadRequest
 from repro.core.resource_transaction import ResourceTransaction
-from repro.errors import QuantumError
+from repro.errors import QuantumError, SessionBackpressure, TransactionError
 from repro.relational.wal import FileWalSink
 from repro.server.session import GroundingTarget, Session
 
@@ -78,6 +79,61 @@ _SHUTDOWN = object()
 
 
 @dataclass(frozen=True)
+class CheckpointPolicy:
+    """When a long-running server should checkpoint its WAL.
+
+    Graceful shutdown always folds the WAL into a snapshot checkpoint; a
+    server that runs for days must not wait that long, or recovery replay
+    grows without bound.  The policy triggers a checkpoint at the writer's
+    drain boundaries — a natural serialization point where no store
+    transaction is active — whenever either threshold is exceeded.  A
+    checkpoint that still finds transactions active is refused (counted,
+    never fatal) and retried at the next boundary, exactly like the
+    shutdown path refuses today.
+
+    Attributes:
+        max_wal_records: checkpoint once this many WAL records accumulated
+            since the last checkpoint (``None``: no record-count trigger).
+        max_interval_s: checkpoint once this much wall-clock time passed
+            since the last checkpoint (``None``: no time trigger).
+    """
+
+    max_wal_records: int | None = None
+    max_interval_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_wal_records is None and self.max_interval_s is None:
+            raise QuantumError(
+                "a CheckpointPolicy needs max_wal_records and/or "
+                "max_interval_s; for no periodic checkpoints leave "
+                "ServerConfig.checkpoint_policy as None"
+            )
+        if self.max_wal_records is not None and self.max_wal_records < 1:
+            raise QuantumError(
+                "CheckpointPolicy.max_wal_records must be at least 1"
+            )
+        if self.max_interval_s is not None and self.max_interval_s < 0:
+            raise QuantumError(
+                "CheckpointPolicy.max_interval_s must not be negative"
+            )
+
+    def due(self, records_since: int, elapsed_s: float) -> bool:
+        """True when either threshold has been reached.
+
+        Never due with zero new records: a checkpoint then would rewrite
+        the same snapshot (an O(database) no-op for recovery), so
+        read-only traffic does not churn the WAL.
+        """
+        if records_since <= 0:
+            return False
+        if self.max_wal_records is not None and records_since >= self.max_wal_records:
+            return True
+        if self.max_interval_s is not None and elapsed_s >= self.max_interval_s:
+            return True
+        return False
+
+
+@dataclass(frozen=True)
 class ServerConfig:
     """Configuration of a :class:`QuantumServer`.
 
@@ -86,8 +142,20 @@ class ServerConfig:
             per cycle; contiguous commit items within a drain are admitted
             as one group commit.
         executor_workers: thread count of the grounding-plan executor.
+            Only used for unsharded databases: with
+            ``QuantumConfig(shards >= 2)`` grounding plans run on the
+            owning shards' own executors (``QuantumConfig.shard_workers``
+            threads each) and this pool is bypassed.
         queue_depth: admission queue capacity; enqueues beyond it apply
             backpressure (the session's coroutine waits).
+        session_quota: per-session cap on queued-but-unprocessed items.
+            ``None`` (default) keeps the global bound only; with a quota, a
+            session that already has this many items in flight gets a typed
+            :class:`~repro.errors.SessionBackpressure` error instead of
+            silently occupying the shared queue and starving other clients.
+        checkpoint_policy: periodic WAL checkpointing for long-running
+            servers (see :class:`CheckpointPolicy`); ``None`` checkpoints
+            only on graceful shutdown.
         checkpoint_on_shutdown: fold the WAL into a snapshot checkpoint
             during graceful shutdown, bounding later recovery work.
         wal_path: when set, attach a durable JSON-lines WAL sink at this
@@ -100,9 +168,18 @@ class ServerConfig:
     max_batch: int = 64
     executor_workers: int = 2
     queue_depth: int = 1024
+    session_quota: int | None = None
+    checkpoint_policy: CheckpointPolicy | None = None
     checkpoint_on_shutdown: bool = True
     wal_path: str | None = None
     wal_fsync: bool = False
+
+    def __post_init__(self) -> None:
+        if self.session_quota is not None and self.session_quota < 1:
+            raise QuantumError(
+                "ServerConfig.session_quota must be at least 1 (or None): a "
+                "zero quota would reject every submission forever"
+            )
 
 
 @dataclass
@@ -126,6 +203,11 @@ class ServerStatistics:
         searches_observed / search_nodes_observed: grounding-search
             completions (and their node counts) streamed from the solver's
             observer hook.
+        backpressure_rejections: submissions refused because their session
+            exceeded its queue quota.
+        policy_checkpoints: checkpoints taken by the periodic policy.
+        checkpoints_refused: policy checkpoints refused because a store
+            transaction was still active (retried at the next boundary).
     """
 
     items: int = 0
@@ -144,6 +226,9 @@ class ServerStatistics:
     grounding_futures_resolved: int = 0
     searches_observed: int = 0
     search_nodes_observed: int = 0
+    backpressure_rejections: int = 0
+    policy_checkpoints: int = 0
+    checkpoints_refused: int = 0
 
 
 class QuantumServer:
@@ -177,6 +262,10 @@ class QuantumServer:
         self._started = False
         self._grounding_waiters: list[tuple[GroundingTarget, asyncio.Future]] = []
         self._sink: FileWalSink | None = None
+        # Periodic-checkpoint bookkeeping (see CheckpointPolicy): WAL length
+        # and wall clock at the last checkpoint (or at startup).
+        self._records_at_checkpoint = len(qdb.database.wal)
+        self._last_checkpoint = time.monotonic()
         # Chain the grounding notification hook in front of the database's
         # own housekeeping (pending-table delete, entanglement withdrawal).
         self._chained_on_grounded = qdb.state.on_grounded
@@ -260,6 +349,10 @@ class QuantumServer:
         self.qdb.database.wal.flush()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
+        # Release the sharded database's lazily started shard executors as
+        # well; they restart lazily if the database outlives the server and
+        # fans grounding plans out again.
+        self.qdb.close()
         # The sink stays attached (and open): the database outlives the
         # server, and post-shutdown synchronous mutations must keep landing
         # in the durable log for recovery to stay complete.
@@ -311,14 +404,37 @@ class QuantumServer:
             kwargs.setdefault("client", client)
         return parse_transaction(transaction, **kwargs)
 
-    async def _enqueue(self, kind: WorkKind, payload: Any) -> Any:
+    async def _enqueue(
+        self, kind: WorkKind, payload: Any, session: Session | None = None
+    ) -> Any:
         if self._closed or not self._started:
             raise QuantumError(
                 "server is not accepting work (not started or shut down)"
             )
         assert self._queue is not None
+        quota = self.config.session_quota
+        if session is not None and quota is not None:
+            if session._in_flight >= quota:
+                self.statistics.backpressure_rejections += 1
+                session.statistics.backpressure += 1
+                raise SessionBackpressure(
+                    f"session #{session.session_id} has {session._in_flight} "
+                    f"operations in flight (quota {quota}); retry after they "
+                    "complete"
+                )
+            # Count the submission against the quota for its whole queued
+            # lifetime — including time spent waiting on the global bound.
+            session._in_flight += 1
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        await self._queue.put(WorkItem(kind, payload, future))
+        if session is not None and quota is not None:
+            future.add_done_callback(session._release_in_flight)
+        try:
+            await self._queue.put(WorkItem(kind, payload, future))
+        except BaseException:
+            # Never enqueued: cancelling the future runs the registered
+            # release callback, returning the quota slot.
+            future.cancel()
+            raise
         depth = self._queue.qsize()
         if depth > self.statistics.queue_high_water:
             self.statistics.queue_high_water = depth
@@ -327,12 +443,12 @@ class QuantumServer:
     async def _submit_commit(
         self, transaction: ResourceTransaction, session: Session
     ) -> CommitResult:
-        return await self._enqueue(WorkKind.COMMIT, transaction)
+        return await self._enqueue(WorkKind.COMMIT, transaction, session)
 
     async def _submit_batch(
         self, transactions: list[ResourceTransaction], session: Session
     ) -> list[CommitResult]:
-        return await self._enqueue(WorkKind.BATCH, transactions)
+        return await self._enqueue(WorkKind.BATCH, transactions, session)
 
     async def _submit_read(
         self,
@@ -342,18 +458,27 @@ class QuantumServer:
         mode: ReadMode | None,
         select: Sequence[str] | None,
         limit: int | None,
+        session: Session | None = None,
     ) -> list[dict[str, Any]]:
         return await self._enqueue(
-            WorkKind.READ, (request, terms, mode, select, limit)
+            WorkKind.READ, (request, terms, mode, select, limit), session
         )
 
     async def _submit_write(
-        self, operation: str, table: str, values: Sequence[Any]
+        self,
+        operation: str,
+        table: str,
+        values: Sequence[Any],
+        session: Session | None = None,
     ) -> None:
-        return await self._enqueue(WorkKind.WRITE, (operation, table, values))
+        return await self._enqueue(
+            WorkKind.WRITE, (operation, table, values), session
+        )
 
-    async def _submit_ground(self, ids: list[int]) -> list[GroundedTransaction]:
-        return await self._enqueue(WorkKind.GROUND, ids)
+    async def _submit_ground(
+        self, ids: list[int], session: Session | None = None
+    ) -> list[GroundedTransaction]:
+        return await self._enqueue(WorkKind.GROUND, ids, session)
 
     async def ground_all(self) -> list[GroundedTransaction]:
         """Ground every pending transaction (e.g. end of the booking day).
@@ -372,8 +497,22 @@ class QuantumServer:
     async def _writer_loop(self) -> None:
         assert self._queue is not None
         shutting_down = False
+        # With a time-based checkpoint policy, an idle server must still
+        # reach its drain boundary: bound the queue wait by the policy
+        # interval so `_maybe_checkpoint` runs even when no work arrives.
+        policy = self.config.checkpoint_policy
+        idle_wait = policy.max_interval_s if policy is not None else None
         while not shutting_down:
-            item = await self._queue.get()
+            if idle_wait is None:
+                item = await self._queue.get()
+            else:
+                try:
+                    item = await asyncio.wait_for(
+                        self._queue.get(), timeout=max(idle_wait, 0.05)
+                    )
+                except asyncio.TimeoutError:
+                    self._maybe_checkpoint()
+                    continue
             drained: list[WorkItem] = []
             while True:
                 if item is _SHUTDOWN:
@@ -391,9 +530,39 @@ class QuantumServer:
                 if len(drained) > self.statistics.max_drain:
                     self.statistics.max_drain = len(drained)
                 self._process_drained(drained)
+                self._maybe_checkpoint()
             # Yield so acked clients resume (and refill the queue) before
             # the next drain; without this the writer would starve them.
             await asyncio.sleep(0)
+
+    def _maybe_checkpoint(self) -> None:
+        """Run the periodic checkpoint policy at a drain boundary.
+
+        Drain boundaries are writer serialization points, so normally no
+        store transaction is active; if one somehow is, the checkpoint is
+        refused (exactly as on shutdown) and retried at the next boundary.
+        """
+        policy = self.config.checkpoint_policy
+        if policy is None:
+            return
+        # An external fold (the application calling qdb.checkpoint()
+        # directly) shrinks the WAL below our baseline; clamp so the
+        # policy keeps counting fresh records instead of going silent.
+        wal_length = len(self.qdb.database.wal)
+        if wal_length < self._records_at_checkpoint:
+            self._records_at_checkpoint = wal_length
+        records_since = wal_length - self._records_at_checkpoint
+        elapsed = time.monotonic() - self._last_checkpoint
+        if not policy.due(records_since, elapsed):
+            return
+        try:
+            self.qdb.checkpoint()
+        except TransactionError:
+            self.statistics.checkpoints_refused += 1
+            return
+        self.statistics.policy_checkpoints += 1
+        self._records_at_checkpoint = len(self.qdb.database.wal)
+        self._last_checkpoint = time.monotonic()
 
     def _process_drained(self, drained: list[WorkItem]) -> None:
         index = 0

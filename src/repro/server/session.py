@@ -112,6 +112,8 @@ class SessionStatistics:
         grounding_waits: ``on_grounding`` futures requested.
         grounding_events: grounding notifications delivered.
         cancelled: commits cancelled before the writer admitted them.
+        backpressure: submissions refused because the session exceeded its
+            queue quota (:class:`~repro.errors.SessionBackpressure`).
     """
 
     submitted: int = 0
@@ -123,6 +125,7 @@ class SessionStatistics:
     grounding_waits: int = 0
     grounding_events: int = 0
     cancelled: int = 0
+    backpressure: int = 0
 
 
 class Session:
@@ -140,6 +143,16 @@ class Session:
         self.statistics = SessionStatistics()
         self._sequence = 0
         self._closed = False
+        #: Items this session has enqueued but the writer has not finished;
+        #: bounded by ``ServerConfig.session_quota`` (see the server's
+        #: ``_enqueue``), which raises
+        #: :class:`~repro.errors.SessionBackpressure` beyond the quota.
+        self._in_flight = 0
+
+    def _release_in_flight(self, _future: "asyncio.Future") -> None:
+        """Return a quota slot once a queued item is resolved (or cancelled)."""
+        if self._in_flight > 0:
+            self._in_flight -= 1
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -247,20 +260,20 @@ class Session:
         self._require_open()
         self.statistics.reads += 1
         return await self._server._submit_read(
-            request, terms, mode=mode, select=select, limit=limit
+            request, terms, mode=mode, select=select, limit=limit, session=self
         )
 
     async def insert(self, table: str, values: Sequence[Any]) -> None:
         """Blind insert, admission-checked against pending transactions."""
         self._require_open()
         self.statistics.writes += 1
-        await self._server._submit_write("insert", table, values)
+        await self._server._submit_write("insert", table, values, session=self)
 
     async def delete(self, table: str, values: Sequence[Any]) -> None:
         """Blind delete, admission-checked against pending transactions."""
         self._require_open()
         self.statistics.writes += 1
-        await self._server._submit_write("delete", table, values)
+        await self._server._submit_write("delete", table, values, session=self)
 
     # -- grounding -----------------------------------------------------------
 
@@ -289,7 +302,9 @@ class Session:
     async def ground(self, transaction_ids: Sequence[int]) -> list[GroundedTransaction]:
         """Explicitly collapse specific pending transactions."""
         self._require_open()
-        return await self._server._submit_ground(list(transaction_ids))
+        return await self._server._submit_ground(
+            list(transaction_ids), session=self
+        )
 
     async def check_in(self, transaction_id: int) -> GroundedTransaction | None:
         """Collapse one transaction and return its assignment (or None).
@@ -299,7 +314,7 @@ class Session:
         looked up by id rather than taken from the grounding results.
         """
         self._require_open()
-        await self._server._submit_ground([transaction_id])
+        await self._server._submit_ground([transaction_id], session=self)
         return self._server.qdb.state.grounded_results.get(transaction_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,40 @@
+"""Sharded partition execution with a signature-based routing index.
+
+This package is the scale layer between the quantum database and its
+partitions (see ``docs/architecture.md``, "Sharded partition execution"):
+
+* :class:`~repro.sharding.signature.SignatureIndex` — a conservative
+  constant-set/wildcard index over each partition's atoms that prefilters
+  ``merged_for`` candidates to near-O(1) on constant-pinned workloads,
+  maintained incrementally on admit/ground/merge and falling back to the
+  exhaustive scan when imprecise (decisions are bit-identical either way);
+* :class:`~repro.sharding.shard.Shard` — a worker owning a disjoint set of
+  partitions plus the executor the grounding plan phase fans out on
+  (thread-based today, interface sized for a process backend);
+* :class:`~repro.sharding.manager.ShardedPartitionManager` — the drop-in
+  :class:`~repro.core.partition.PartitionManager` that routes admissions
+  through the index, serializes the rare cross-shard merge, and keeps the
+  shared :class:`~repro.sharding.manager.PendingTable` for global
+  ``k``-bound accounting.
+
+Enable it with ``QuantumConfig(shards=N)``.
+"""
+
+from repro.sharding.manager import (
+    PendingRef,
+    PendingTable,
+    ShardedPartitionManager,
+    ShardedPartitionStatistics,
+)
+from repro.sharding.shard import Shard
+from repro.sharding.signature import SignatureIndex, SignatureIndexStatistics
+
+__all__ = [
+    "PendingRef",
+    "PendingTable",
+    "Shard",
+    "ShardedPartitionManager",
+    "ShardedPartitionStatistics",
+    "SignatureIndex",
+    "SignatureIndexStatistics",
+]

@@ -1,0 +1,93 @@
+"""Worker shards: disjoint partition ownership plus a plan executor.
+
+Partitions are independent by construction — no atom of one unifies with
+any atom of another — so the set of partitions can be split across worker
+shards without any cross-shard coordination on the hot path.  A
+:class:`Shard` owns a disjoint set of partitions (keyed by partition id,
+which is also what the per-partition witness store is keyed by, so witness
+state hands off between shards for free) and runs the read-only grounding
+*plan* phase for its partitions on its own executor.
+
+The current backend is a thread pool (created lazily, one worker by
+default).  The abstraction is deliberately sized for a later process
+backend: ownership is tracked purely by partition id, work is submitted as
+``submit(fn, *args)`` with picklable-plan-shaped payloads, and nothing on
+the interface exposes the executor type.  Swapping
+``ThreadPoolExecutor`` for a process pool (plus a partition-state shipping
+step) changes this module only.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.partition import Partition
+
+
+class Shard:
+    """One worker shard: a disjoint slice of the partition space.
+
+    Attributes:
+        shard_id: position of the shard in the manager's shard ring.
+        partitions: the owned partitions, keyed by partition id.
+    """
+
+    def __init__(self, shard_id: int, *, workers: int = 1) -> None:
+        self.shard_id = shard_id
+        self.partitions: dict[int, "Partition"] = {}
+        self._workers = max(1, workers)
+        self._executor: ThreadPoolExecutor | None = None
+
+    # -- ownership -----------------------------------------------------------
+
+    def own(self, partition: "Partition") -> None:
+        """Take ownership of a partition."""
+        self.partitions[partition.partition_id] = partition
+
+    def disown(self, partition_id: int) -> None:
+        """Release ownership of a partition (merge or drop)."""
+        self.partitions.pop(partition_id, None)
+
+    def owns(self, partition_id: int) -> bool:
+        """True when this shard owns the partition."""
+        return partition_id in self.partitions
+
+    def __len__(self) -> int:
+        return len(self.partitions)
+
+    def __iter__(self) -> Iterator["Partition"]:
+        return iter(self.partitions.values())
+
+    def pending_count(self) -> int:
+        """Total pending transactions across the owned partitions."""
+        return sum(len(p) for p in self.partitions.values())
+
+    # -- execution -----------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        """True once the shard's executor has been created."""
+        return self._executor is not None
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> "Future[Any]":
+        """Run ``fn(*args)`` on this shard's worker (lazily started)."""
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._workers,
+                thread_name_prefix=f"repro-shard-{self.shard_id}",
+            )
+        return self._executor.submit(fn, *args)
+
+    def close(self) -> None:
+        """Shut the shard's executor down (idempotent; ownership survives)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Shard #{self.shard_id} partitions={len(self.partitions)} "
+            f"pending={self.pending_count()}>"
+        )

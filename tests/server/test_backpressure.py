@@ -1,0 +1,123 @@
+"""Per-session backpressure: one client's backlog must not starve the rest.
+
+The global queue bound still applies; ``ServerConfig(session_quota=N)``
+additionally caps how many items a single session may have queued at once,
+raising the typed :class:`~repro.errors.SessionBackpressure` instead of
+letting that session occupy the shared queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.quantum_database import QuantumConfig, QuantumDatabase
+from repro.errors import SessionBackpressure
+from repro.server import QuantumServer, ServerConfig
+from repro.workloads.flights import FlightDatabaseSpec, build_flight_database
+
+SPEC = FlightDatabaseSpec(num_flights=2, rows_per_flight=6)
+
+
+def make_qdb() -> QuantumDatabase:
+    return QuantumDatabase(build_flight_database(SPEC), QuantumConfig(k=16))
+
+
+def booking(name: str, flight: int) -> str:
+    return (
+        f"-Available({flight}, ?s), +Bookings('{name}', {flight}, ?s)"
+        f" :-1 Available({flight}, ?s)"
+    )
+
+
+def test_session_over_quota_gets_typed_error():
+    async def scenario():
+        qdb = make_qdb()
+        config = ServerConfig(session_quota=2)
+        async with QuantumServer(qdb, config) as server:
+            session = server.session(client="flooder")
+            # Schedule three submissions before the writer runs once: the
+            # third exceeds the quota of two and must fail fast with the
+            # typed error instead of queueing.
+            first = asyncio.ensure_future(session.commit(booking("a", 100)))
+            second = asyncio.ensure_future(session.commit(booking("b", 100)))
+            third = asyncio.ensure_future(session.commit(booking("c", 100)))
+            results = await asyncio.gather(first, second, third, return_exceptions=True)
+            committed = [r for r in results if not isinstance(r, Exception)]
+            refused = [r for r in results if isinstance(r, SessionBackpressure)]
+            assert len(committed) == 2
+            assert len(refused) == 1
+            assert server.statistics.backpressure_rejections == 1
+            assert session.statistics.backpressure == 1
+            # The refused submission never entered the system.
+            assert server.statistics.commits == 2
+            await session.close()
+
+    asyncio.run(scenario())
+
+
+def test_other_sessions_unaffected_by_backpressured_peer():
+    async def scenario():
+        qdb = make_qdb()
+        config = ServerConfig(session_quota=1)
+        async with QuantumServer(qdb, config) as server:
+            flooder = server.session(client="flooder")
+            polite = server.session(client="polite")
+            flood = [
+                asyncio.ensure_future(flooder.commit(booking(f"f{i}", 100)))
+                for i in range(4)
+            ]
+            polite_result = asyncio.ensure_future(polite.commit(booking("p", 101)))
+            results = await asyncio.gather(*flood, return_exceptions=True)
+            refused = [r for r in results if isinstance(r, SessionBackpressure)]
+            assert refused, "the flooder should have been backpressured"
+            # The polite session's commit went through untouched.
+            assert (await polite_result).committed
+            assert polite.statistics.backpressure == 0
+            await flooder.close()
+            await polite.close()
+
+    asyncio.run(scenario())
+
+
+def test_quota_slots_recycle_after_completion():
+    async def scenario():
+        qdb = make_qdb()
+        config = ServerConfig(session_quota=1)
+        async with QuantumServer(qdb, config) as server:
+            async with server.session(client="steady") as session:
+                # Sequential awaits never trip the quota: each slot is
+                # released when its item resolves.
+                for index in range(5):
+                    result = await session.commit(booking(f"s{index}", 100))
+                    assert result.committed
+                assert session.statistics.backpressure == 0
+                assert server.statistics.backpressure_rejections == 0
+
+    asyncio.run(scenario())
+
+
+def test_zero_quota_rejected_at_configuration_time():
+    from repro.errors import QuantumError
+
+    with pytest.raises(QuantumError):
+        ServerConfig(session_quota=0)
+    with pytest.raises(QuantumError):
+        ServerConfig(session_quota=-1)
+
+
+def test_no_quota_means_no_typed_errors():
+    async def scenario():
+        qdb = make_qdb()
+        async with QuantumServer(qdb, ServerConfig()) as server:
+            async with server.session(client="burst") as session:
+                tasks = [
+                    asyncio.ensure_future(session.commit(booking(f"b{i}", 100)))
+                    for i in range(8)
+                ]
+                results = await asyncio.gather(*tasks)
+                assert all(r.committed for r in results)
+                assert server.statistics.backpressure_rejections == 0
+
+    asyncio.run(scenario())
