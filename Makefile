@@ -1,22 +1,30 @@
 # Developer entry points for the quantum-database reproduction.
 #
-#   make check   - tier-1 tests + benchmark smoke pass + doc doctests
+#   make check   - tier-1 tests + benchmark smoke pass + doc doctests + gate
 #   make test    - tier-1 test suite only (tests/)
 #   make smoke   - the smoke-marked benchmark subset (-m smoke)
 #   make docs    - doctest the README / architecture code blocks
+#   make gate    - perf-regression gate: fresh BENCH_admission.json vs HEAD's
+#   make lint    - ruff lint (and format check on the gated paths)
 #   make bench   - the full benchmark suite (regenerates every figure/table)
 #
 # Set REPRO_BENCH_SCALE=paper for the paper-sized benchmark parameters.
 # The smoke pass refreshes BENCH_admission.json (admission throughput and
-# merged_for scan counts per shard count), tracking the admission-path
-# perf trajectory across PRs.
+# merged_for scan counts per (shard count, backend) point), tracking the
+# admission-path perf trajectory across PRs; `make gate` fails the build if
+# it regressed against the committed baseline (BENCH_GATE_TOLERANCE
+# overrides the default 30% throughput tolerance; decision divergence
+# always fails).  CI runs exactly `make lint` + `make check`.
 
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: check test smoke docs bench
+# Paths under `ruff format --check`; grows as files are normalized.
+FORMAT_PATHS = src/repro/sharding/backend.py scripts
 
-check: test smoke docs
+.PHONY: check test smoke docs gate lint bench
+
+check: test smoke docs gate
 
 test:
 	$(PYTEST) -x -q tests
@@ -26,6 +34,13 @@ smoke:
 
 docs:
 	PYTHONPATH=src $(PYTHON) -m doctest README.md docs/architecture.md
+
+gate:
+	$(PYTHON) scripts/bench_gate.py
+
+lint:
+	$(PYTHON) -m ruff check src tests benchmarks scripts
+	$(PYTHON) -m ruff format --check $(FORMAT_PATHS)
 
 bench:
 	$(PYTEST) -q benchmarks

@@ -21,7 +21,6 @@ from repro.core.quantum_database import QuantumConfig, QuantumDatabase
 from repro.core.grounding_policy import GroundingStrategy
 from repro.core.serializability import SerializabilityMode
 from repro.experiments.report import format_table
-from repro.experiments.runner import run_quantum_entangled
 from repro.workloads.arrival_orders import ArrivalOrder
 from repro.workloads.entangled_workload import generate_workload
 from repro.workloads.flights import FlightDatabaseSpec, build_flight_database
@@ -84,12 +83,10 @@ def test_ablation_serializability_mode(benchmark):
             qdb = QuantumDatabase(
                 build_flight_database(SPEC), QuantumConfig(serializability=mode)
             )
-            results = [
+            for i in range(6):
                 qdb.execute(ANY_SEAT.format(f=flight, name=f"user{i}"))
-                for i in range(6)
-            ]
             # A read touching only the *last* user's booking arrives.
-            qdb.read("Bookings", [f"user5", None, None])
+            qdb.read("Bookings", ["user5", None, None])
             remaining[mode] = qdb.pending_count
         return remaining
 

@@ -38,7 +38,7 @@ from benchmarks.conftest import BENCH_SCALE, report
 from repro.core.quantum_database import QuantumConfig, QuantumDatabase
 from repro.experiments.figure7 import default_parameters, paper_parameters
 from repro.experiments.report import format_table
-from repro.server import QuantumServer, ServerConfig
+from repro.server import QuantumServer
 from repro.workloads.arrival_orders import ArrivalOrder
 from repro.workloads.entangled_workload import generate_workload
 from repro.workloads.flights import FlightDatabaseSpec, build_flight_database

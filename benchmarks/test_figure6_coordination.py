@@ -7,7 +7,6 @@ every order; IS matches it only under Alternate.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import BENCH_SCALE, report
 from repro.experiments.figure6 import default_parameters, paper_parameters, run_figure6

@@ -8,7 +8,6 @@ per-flight partitioning, and smaller k is cheaper.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import BENCH_SCALE, report
 from repro.experiments.figure7 import (

@@ -2,24 +2,30 @@
 
 Runs the Figure 7 scalability workload (Random arrival order, entangled
 pairs, per-flight partitioning) through the quantum database at 1, 2 and 4
-partition shards.  ``shards=1`` is the unsharded baseline: every admission
-scans every partition's atoms with pairwise unification inside
-``merged_for``.  With ``shards >= 2`` the :mod:`repro.sharding` subsystem
-routes each admission through the signature index, scanning only the
-candidate partitions, and fans grounding plans out per shard.
+partition shards, and — for the sharded points — on both shard backends
+(``thread`` and ``process``).  ``shards=1`` is the unsharded baseline:
+every admission scans every partition's atoms with pairwise unification
+inside ``merged_for``.  With ``shards >= 2`` the :mod:`repro.sharding`
+subsystem routes each admission through the signature index, scanning only
+the candidate partitions, and fans grounding plans out per shard — on the
+shard's thread pool, or shipped to its worker processes as pickled
+:class:`~repro.sharding.backend.PlanPayload` objects.
 
 The acceptance criteria asserted here:
 
-* accept/reject decisions are identical at every shard count (the index is
-  a conservative prefilter, confirmed by the exact scan);
+* accept/reject decisions are identical at every shard count *and* on both
+  backends (the index is a conservative prefilter confirmed by the exact
+  scan; the process backend plans over an order-preserving snapshot);
 * the sharded runs spend **at least 5x fewer** pairwise unification calls
   in the overlap scans (in practice the reduction is 100x+ on this
   constant-pinned workload);
 * admission throughput measurably scales from 1 to 4 shards.
 
 Every run also appends its numbers to ``BENCH_admission.json`` at the
-repository root — throughput and scan counts per shard count — so the
-admission-path perf trajectory is tracked across PRs by ``make check``.
+repository root — throughput and scan counts per (shard count, backend)
+point — so the admission-path perf trajectory is tracked across PRs by
+``make check`` and gated against the committed baseline by
+``scripts/bench_gate.py`` (``make gate``).
 """
 
 from __future__ import annotations
@@ -40,6 +46,15 @@ from repro.workloads.flights import FlightDatabaseSpec, build_flight_database
 #: Shard counts swept by the benchmark (1 = the unsharded baseline).
 SHARD_COUNTS = (1, 2, 4)
 
+#: Shard executor backends swept at every sharded point.  The unsharded
+#: baseline has no shards, recorded as backend "unsharded".
+BACKENDS = ("thread", "process")
+
+#: (shards, backend) sweep points, in reporting order.
+SWEEP = ((1, "unsharded"),) + tuple(
+    (shards, backend) for shards in SHARD_COUNTS[1:] for backend in BACKENDS
+)
+
 #: Where the perf trajectory lands (tracked in git, one file per repo).
 BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_admission.json"
 
@@ -52,12 +67,22 @@ def _spec(smoke: bool) -> FlightDatabaseSpec:
     return FlightDatabaseSpec(num_flights=16, rows_per_flight=4)
 
 
-def _run(spec: FlightDatabaseSpec, *, shards: int, k: int = 4, seed: int = 0):
+def _run(
+    spec: FlightDatabaseSpec,
+    *,
+    shards: int,
+    backend: str = "thread",
+    k: int = 4,
+    seed: int = 0,
+):
     """One sweep point; returns (decisions, statistics, admit_s, total_s)."""
     workload = generate_workload(spec, ArrivalOrder.RANDOM, seed=seed)
-    qdb = QuantumDatabase(
-        build_flight_database(spec), QuantumConfig(k=k, shards=shards)
+    config = QuantumConfig(
+        k=k,
+        shards=shards,
+        shard_backend=backend if backend != "unsharded" else "thread",
     )
+    qdb = QuantumDatabase(build_flight_database(spec), config)
     start = time.perf_counter()
     decisions = [qdb.execute(t).committed for t in workload.transactions]
     admit_elapsed = time.perf_counter() - start
@@ -68,9 +93,10 @@ def _run(spec: FlightDatabaseSpec, *, shards: int, k: int = 4, seed: int = 0):
     return decisions, statistics, admit_elapsed, total_elapsed
 
 
-def _emit_json(spec: FlightDatabaseSpec, results: dict[int, dict]) -> None:
-    """Write ``BENCH_admission.json`` (throughput + scan counts per shards)."""
-    baseline = results[1]
+def _emit_json(spec: FlightDatabaseSpec, results: dict[tuple, dict]) -> None:
+    """Write ``BENCH_admission.json`` (one entry per (shards, backend))."""
+    baseline = results[(1, "unsharded")]
+    sharded = [r for key, r in results.items() if key[0] > 1]
     payload = {
         "benchmark": "sharded_admission",
         "scale": BENCH_SCALE,
@@ -80,14 +106,14 @@ def _emit_json(spec: FlightDatabaseSpec, results: dict[int, dict]) -> None:
             "rows_per_flight": spec.rows_per_flight,
             "transactions": baseline["transactions"],
         },
-        "results": [results[shards] for shards in sorted(results)],
+        "results": [results[point] for point in SWEEP],
         "unification_call_reduction": round(
             baseline["unification_checks"]
-            / max(1, min(r["unification_checks"] for s, r in results.items() if s > 1)),
+            / max(1, min(r["unification_checks"] for r in sharded)),
             1,
         ),
         "throughput_scaling_1_to_4": round(
-            results[max(results)]["admission_txn_per_s"]
+            results[(4, "thread")]["admission_txn_per_s"]
             / max(1e-9, baseline["admission_txn_per_s"]),
             2,
         ),
@@ -98,25 +124,31 @@ def _emit_json(spec: FlightDatabaseSpec, results: dict[int, dict]) -> None:
 @pytest.mark.smoke
 def test_sharded_admission(benchmark, smoke_run):
     spec = _spec(smoke_run)
-    runs: dict[int, tuple] = {}
+    runs: dict[tuple, tuple] = {}
 
     def sweep():
-        for shards in SHARD_COUNTS:
-            runs[shards] = _run(spec, shards=shards)
+        for shards, backend in SWEEP:
+            runs[(shards, backend)] = _run(spec, shards=shards, backend=backend)
 
     benchmark.pedantic(sweep, rounds=1, iterations=1)
 
-    decisions = {shards: run[0] for shards, run in runs.items()}
+    decisions = {point: run[0] for point, run in runs.items()}
     # Identical accept/reject decisions on the same stream at every shard
-    # count: routing is a pure fast path.
-    assert decisions[1] == decisions[2] == decisions[4]
+    # count and on both backends: routing is a pure fast path and the
+    # process backend plans over an order-preserving snapshot.
+    baseline_decisions = decisions[(1, "unsharded")]
+    for point in SWEEP[1:]:
+        assert decisions[point] == baseline_decisions, point
 
-    results: dict[int, dict] = {}
+    results: dict[tuple, dict] = {}
     rows = []
-    for shards, (dec, stats, admit_s, total_s) in sorted(runs.items()):
+    for point in SWEEP:
+        shards, backend = point
+        dec, stats, admit_s, total_s = runs[point]
         throughput = len(dec) / admit_s if admit_s else 0.0
-        results[shards] = {
+        results[point] = {
             "shards": shards,
+            "backend": backend,
             "transactions": len(dec),
             "admitted": stats["state.admitted"],
             "rejected": stats["state.rejected"],
@@ -124,6 +156,8 @@ def test_sharded_admission(benchmark, smoke_run):
             "scanned_partitions": stats["partitions.scanned_partitions"],
             "index_filtered": stats.get("partitions.index_filtered", 0),
             "merges": stats["partitions.merges"],
+            "plan_payload_bytes": stats.get("sharding.plan_payload_bytes", 0),
+            "worker_round_trips": stats.get("sharding.worker_round_trips", 0),
             "admission_s": round(admit_s, 4),
             "total_s": round(total_s, 4),
             "admission_txn_per_s": round(throughput, 1),
@@ -131,6 +165,7 @@ def test_sharded_admission(benchmark, smoke_run):
         rows.append(
             [
                 shards,
+                backend,
                 len(dec),
                 stats["partitions.unification_checks"],
                 stats.get("partitions.index_filtered", 0),
@@ -144,6 +179,7 @@ def test_sharded_admission(benchmark, smoke_run):
         format_table(
             [
                 "shards",
+                "backend",
                 "#txns",
                 "unif. checks",
                 "filtered",
@@ -158,20 +194,20 @@ def test_sharded_admission(benchmark, smoke_run):
 
     # The headline criteria: at least 5x fewer pairwise unification calls
     # with routing on, and admission throughput that scales 1 -> 4 shards.
-    baseline_checks = results[1]["unification_checks"]
-    for shards in SHARD_COUNTS[1:]:
-        assert results[shards]["unification_checks"] * 5 <= baseline_checks, (
-            shards,
-            results[shards]["unification_checks"],
+    baseline_checks = results[(1, "unsharded")]["unification_checks"]
+    for point in SWEEP[1:]:
+        assert results[point]["unification_checks"] * 5 <= baseline_checks, (
+            point,
+            results[point]["unification_checks"],
             baseline_checks,
         )
     # Wall-clock comparison, so keep it noise-tolerant: the measured gap is
     # ~2x, and the best sharded run (not a single fixed point) must beat
     # the unsharded baseline.
     best_sharded = max(
-        results[shards]["admission_txn_per_s"] for shards in SHARD_COUNTS[1:]
+        results[point]["admission_txn_per_s"] for point in SWEEP[1:]
     )
-    assert best_sharded > results[1]["admission_txn_per_s"], (
+    assert best_sharded > results[(1, "unsharded")]["admission_txn_per_s"], (
         best_sharded,
-        results[1],
+        results[(1, "unsharded")],
     )

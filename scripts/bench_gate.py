@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""Perf-regression gate over the committed ``BENCH_admission.json``.
+
+``make smoke`` regenerates ``BENCH_admission.json`` from the sharded
+admission benchmark; this script compares the fresh file against the
+baseline committed at ``HEAD`` and fails (exit code 1) when the admission
+path regressed:
+
+* **decision divergence** — a sweep point's admitted/rejected/transaction
+  counts differ from the baseline's.  Decisions are deterministic, so any
+  divergence is a correctness bug, never noise; this always fails.
+* **throughput regression** — a sweep point's *normalized* admission
+  throughput (its ``admission_txn_per_s`` relative to the same run's
+  unsharded baseline point) dropped by more than the tolerance, default
+  30%.  Normalizing within the run is what makes the gate meaningful on
+  CI runners whose absolute speed differs arbitrarily from the machine
+  that produced the committed numbers; pass ``--absolute`` to compare raw
+  txn/s instead when both files come from the same machine.
+
+Sweep points present on only one side are reported but never fail the
+gate: the grid may legitimately grow (a new backend) or shrink across PRs.
+Runs with different workload scales (``REPRO_BENCH_SCALE``) or workload
+parameters are skipped outright — their numbers are not comparable;
+committing the fresh file re-baselines the gate.
+
+Used as ``make gate`` (part of ``make check``), so the gate runs
+identically on a developer laptop and in the CI workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_JSON = REPO_ROOT / "BENCH_admission.json"
+DEFAULT_TOLERANCE = 0.30
+
+
+def load_fresh(path: Path) -> dict:
+    """The freshly emitted benchmark file (written by ``make smoke``)."""
+    return json.loads(path.read_text())
+
+
+def load_baseline(explicit: str | None) -> dict | None:
+    """The committed baseline: an explicit file, or ``HEAD``'s copy."""
+    if explicit is not None:
+        return json.loads(Path(explicit).read_text())
+    try:
+        shown = subprocess.run(
+            ["git", "show", f"HEAD:{BENCH_JSON.name}"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    return json.loads(shown.stdout)
+
+
+def point_key(result: dict) -> tuple[int, str]:
+    """Identity of one sweep point: ``(shards, backend)``.
+
+    Baselines written before the backend dimension existed default to the
+    backend their shard count implied.
+    """
+    shards = int(result["shards"])
+    default = "unsharded" if shards == 1 else "thread"
+    return shards, str(result.get("backend", default))
+
+
+def indexed(payload: dict) -> dict[tuple[int, str], dict]:
+    return {point_key(result): result for result in payload.get("results", [])}
+
+
+def normalized_throughput(
+    points: dict[tuple[int, str], dict], key: tuple[int, str]
+) -> float | None:
+    """A point's admission throughput relative to its run's baseline point."""
+    baseline = points.get((1, "unsharded"))
+    if baseline is None or key not in points:
+        return None
+    denominator = float(baseline["admission_txn_per_s"])
+    if denominator <= 0:
+        return None
+    return float(points[key]["admission_txn_per_s"]) / denominator
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("BENCH_GATE_TOLERANCE", DEFAULT_TOLERANCE)),
+        help="maximum tolerated relative throughput drop (default 0.30)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline JSON file (default: HEAD's BENCH_admission.json)",
+    )
+    parser.add_argument(
+        "--fresh",
+        default=str(BENCH_JSON),
+        help="freshly emitted JSON file (default: repo BENCH_admission.json)",
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="compare raw txn/s instead of run-normalized throughput",
+    )
+    args = parser.parse_args(argv)
+
+    fresh_path = Path(args.fresh)
+    if not fresh_path.exists():
+        print(f"bench gate: {fresh_path} missing — run `make smoke` first")
+        return 1
+    fresh = load_fresh(fresh_path)
+    baseline = load_baseline(args.baseline)
+    if baseline is None:
+        print("bench gate: no committed baseline found; nothing to compare")
+        return 0
+    if fresh.get("scale") != baseline.get("scale"):
+        print(
+            "bench gate: scale mismatch "
+            f"({baseline.get('scale')!r} -> {fresh.get('scale')!r}); skipping"
+        )
+        return 0
+    if fresh.get("workload") != baseline.get("workload"):
+        print(
+            "bench gate: workload mismatch — baseline "
+            f"{baseline.get('workload')} vs fresh {fresh.get('workload')}; "
+            "numbers are not comparable, skipping (commit the fresh file to "
+            "re-baseline)"
+        )
+        return 0
+
+    fresh_points = indexed(fresh)
+    base_points = indexed(baseline)
+    shared = sorted(set(fresh_points) & set(base_points))
+    only_base = sorted(set(base_points) - set(fresh_points))
+    only_fresh = sorted(set(fresh_points) - set(base_points))
+    for key in only_base:
+        print(f"bench gate: note — baseline point {key} no longer swept")
+    for key in only_fresh:
+        print(f"bench gate: note — new sweep point {key} (no baseline)")
+
+    failures: list[str] = []
+    for key in shared:
+        fresh_result = fresh_points[key]
+        base_result = base_points[key]
+        for field in ("transactions", "admitted", "rejected"):
+            if fresh_result.get(field) != base_result.get(field):
+                failures.append(
+                    f"{key}: decisions diverged — {field} "
+                    f"{base_result.get(field)} -> {fresh_result.get(field)}"
+                )
+        if args.absolute:
+            base_value = float(base_result["admission_txn_per_s"])
+            fresh_value = float(fresh_result["admission_txn_per_s"])
+        else:
+            base_norm = normalized_throughput(base_points, key)
+            fresh_norm = normalized_throughput(fresh_points, key)
+            if base_norm is None or fresh_norm is None:
+                continue
+            base_value, fresh_value = base_norm, fresh_norm
+        if base_value <= 0:
+            continue
+        drop = 1.0 - fresh_value / base_value
+        label = "txn/s" if args.absolute else "normalized throughput"
+        print(
+            f"bench gate: {key} {label} {base_value:.2f} -> {fresh_value:.2f}"
+            f" ({-drop:+.1%})"
+        )
+        if drop > args.tolerance:
+            failures.append(
+                f"{key}: {label} regressed {drop:.1%} "
+                f"(tolerance {args.tolerance:.0%})"
+            )
+
+    if failures:
+        for failure in failures:
+            print(f"bench gate: FAIL — {failure}")
+        return 1
+    print(f"bench gate: OK ({len(shared)} points within tolerance)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -85,6 +85,7 @@ from repro.core.resource_transaction import ResourceTransaction
 from repro.core.serializability import SerializabilityMode
 from repro.core.solution_cache import SolutionCacheStatistics, Witness
 from repro.errors import (
+    GroundingTimeout,
     QuantumError,
     ReproError,
     SessionBackpressure,
@@ -104,6 +105,7 @@ from repro.server import (
 )
 from repro.sharding import (
     Shard,
+    ShardBackend,
     ShardedPartitionManager,
     SignatureIndex,
 )
@@ -119,6 +121,7 @@ __all__ = [
     "FileWalSink",
     "GroundingPolicy",
     "GroundingStrategy",
+    "GroundingTimeout",
     "PlannerConfig",
     "QuantumConfig",
     "QuantumDatabase",
@@ -134,6 +137,7 @@ __all__ = [
     "SessionBackpressure",
     "SessionStatistics",
     "Shard",
+    "ShardBackend",
     "ShardedPartitionManager",
     "SignatureIndex",
     "SolutionCacheStatistics",

@@ -13,7 +13,7 @@ next to them is still free when the friend books.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.relational.database import Database

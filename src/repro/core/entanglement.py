@@ -25,7 +25,6 @@ consults it after every commit and grounds matched pairs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
 
 from repro.core.resource_transaction import ResourceTransaction
 from repro.errors import InvalidTransactionError

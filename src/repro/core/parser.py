@@ -28,7 +28,7 @@ durability.
 from __future__ import annotations
 
 import re
-from typing import Any, Iterator
+from typing import Any
 
 from repro.errors import ParseError
 from repro.core.resource_transaction import ResourceTransaction

@@ -17,7 +17,7 @@ merge-on-overlap logic.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 from repro.core.composition import IncrementalComposition, compose_sequence

@@ -38,25 +38,23 @@ from __future__ import annotations
 
 from concurrent.futures import Executor
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sharding.backend import ShardBackend
 
 from repro.core.entanglement import EntanglementRegistry
 from repro.core.grounding_policy import GroundingPolicy, GroundingStrategy
 from repro.core.parser import parse_transaction
-from repro.core.quantum_state import (
-    GroundedTransaction,
-    PendingTransaction,
-    QuantumState,
-)
+from repro.core.quantum_state import GroundedTransaction, QuantumState
 from repro.core.reads import ReadMode, ReadRequest
 from repro.core.recovery import PendingTransactionStore
 from repro.core.resource_transaction import ResourceTransaction
 from repro.core.serializability import SerializabilityMode
 from repro.core.worlds import enumerate_possible_worlds
 from repro.errors import QuantumError, TransactionRejected
-from repro.logic.atoms import Atom
 from repro.relational.database import Database
-from repro.relational.dml import Delete, Insert, Statement
+from repro.relational.dml import Delete, Insert
 from repro.relational.planner import MYSQL_JOIN_LIMIT, PlannerConfig
 from repro.relational.schema import Column
 
@@ -90,9 +88,16 @@ class QuantumConfig:
             executors the grounding plan phase fans out on.  Accept/reject
             decisions are bit-identical to the unsharded path — only the
             scan work changes (the ``partitions.*`` counters report it).
-        shard_workers: thread count of each shard's plan executor.  On a
+        shard_workers: worker count of each shard's plan executor.  On a
             sharded database grounding plans always run on these (the
             session layer's shared ``executor_workers`` pool is bypassed).
+        shard_backend: executor strategy of the shards — ``"thread"``
+            (default) plans on per-shard thread pools sharing the writer's
+            heap; ``"process"`` ships each partition's composed body and
+            witness state to per-shard worker processes as picklable
+            payloads and runs the read-only grounding searches truly in
+            parallel (no GIL).  Decisions are bit-identical either way;
+            the ``sharding.*`` counters report the payload traffic.
         planner: join-planner settings for the underlying store.
     """
 
@@ -104,6 +109,7 @@ class QuantumConfig:
     witness_cache: bool = True
     shards: int = 1
     shard_workers: int = 1
+    shard_backend: "ShardBackend | str" = "thread"
     planner: PlannerConfig = field(default_factory=PlannerConfig)
 
     def __post_init__(self) -> None:
@@ -111,6 +117,13 @@ class QuantumConfig:
             raise QuantumError("QuantumConfig.shards must be at least 1")
         if self.shard_workers < 1:
             raise QuantumError("QuantumConfig.shard_workers must be at least 1")
+        from repro.sharding.backend import ShardBackend
+
+        # Validate eagerly (a typo should fail at configuration time, not
+        # at first grounding) and normalise to the enum.
+        object.__setattr__(
+            self, "shard_backend", ShardBackend.coerce(self.shard_backend)
+        )
 
     def policy(self) -> GroundingPolicy:
         """The grounding policy implied by this configuration."""
@@ -122,14 +135,17 @@ class QuantumConfig:
         ``shards == 1`` keeps the plain exhaustive-scan manager;
         ``shards >= 2`` builds a
         :class:`~repro.sharding.ShardedPartitionManager` (signature-routed
-        admission, per-shard grounding-plan executors).
+        admission, per-shard grounding-plan executors running on the
+        configured backend).
         """
         if self.shards == 1:
             return None
         from repro.sharding import ShardedPartitionManager
 
         return ShardedPartitionManager(
-            self.shards, workers_per_shard=self.shard_workers
+            self.shards,
+            workers_per_shard=self.shard_workers,
+            backend=self.shard_backend,
         )
 
 
@@ -424,7 +440,11 @@ class QuantumDatabase:
     # ------------------------------------------------------------------
 
     def ground(
-        self, transaction_ids: Iterable[int], *, executor: Executor | None = None
+        self,
+        transaction_ids: Iterable[int],
+        *,
+        executor: Executor | None = None,
+        timeout_s: float | None = None,
     ) -> list[GroundedTransaction]:
         """Fix the value assignments of specific pending transactions.
 
@@ -432,14 +452,22 @@ class QuantumDatabase:
         read-only grounding searches run concurrently on it (partition
         independence makes the plans commute); the mutating apply phase
         stays serial.  The session layer passes its executor here.
+        ``timeout_s`` bounds the wait on each fanned-out plan future (see
+        :class:`~repro.errors.GroundingTimeout`); a hung worker then costs
+        one exception instead of wedging the caller.
         """
-        return self.state.ground(transaction_ids, executor=executor)
+        return self.state.ground(
+            transaction_ids, executor=executor, timeout_s=timeout_s
+        )
 
     def ground_all(
-        self, *, executor: Executor | None = None
+        self,
+        *,
+        executor: Executor | None = None,
+        timeout_s: float | None = None,
     ) -> list[GroundedTransaction]:
         """Fix every pending transaction (e.g. at the end of a booking day)."""
-        return self.state.ground_all(executor=executor)
+        return self.state.ground_all(executor=executor, timeout_s=timeout_s)
 
     def check_in(self, transaction_id: int) -> GroundedTransaction | None:
         """Collapse one transaction and return its assignment.
@@ -521,6 +549,12 @@ class QuantumDatabase:
             for name, value in vars(index.statistics).items():
                 report[f"routing.{name}"] = value
             report["routing.shards"] = self.state.partitions.shard_count
+        backend = getattr(self.state.partitions, "backend", None)
+        if backend is not None:
+            stats = self.state.partitions.statistics
+            report["sharding.backend"] = backend.value
+            report["sharding.plan_payload_bytes"] = stats.plan_payload_bytes
+            report["sharding.worker_round_trips"] = stats.worker_round_trips
         return report
 
     def coordination_report(self) -> dict[str, float]:

@@ -32,15 +32,16 @@ See ``docs/architecture.md`` ("Concurrent grounding") for the full argument.
 from __future__ import annotations
 
 from concurrent.futures import Executor
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Mapping, Sequence
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
 
 from repro.core.composition import (
     compose_sequence,
     rewrite_atom_against_updates,
     rewrite_body_against_updates,
 )
-from repro.core.grounding_policy import GroundingPolicy, GroundingStrategy
+from repro.core.grounding_policy import GroundingPolicy
 from repro.core.partition import Partition, PartitionManager
 from repro.core.resource_transaction import ResourceTransaction
 from repro.core.serializability import (
@@ -50,17 +51,22 @@ from repro.core.serializability import (
 )
 from repro.core.solution_cache import SolutionCache
 from repro.errors import (
+    GroundingTimeout,
     QuantumStateError,
     TransactionRejected,
     WriteRejected,
 )
-from repro.logic.atoms import Atom, AtomKind
+from repro.logic.atoms import Atom
 from repro.logic.formula import Formula, TRUE, conjunction
 from repro.logic.substitution import Substitution
 from repro.logic.terms import Variable
 from repro.logic.unification import unifiable
 from repro.relational.database import Database
 from repro.relational.dml import Delete, Insert, Statement
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sharding.backend import PlanResult
+    from repro.solver.grounding import GroundingSearch
 
 
 @dataclass(frozen=True)
@@ -165,6 +171,200 @@ class PlannedGrounding:
     substitution: Substitution
     satisfied_atoms: Mapping[int, int]
     forced: bool = False
+
+
+#: How many candidate prefix groundings are tried before giving up on a
+#: particular set of optional atoms (each candidate costs one suffix
+#: satisfiability check).
+PREFIX_CANDIDATES = 8
+#: Node budget for the combined prefix-and-suffix fallback search when
+#: optional factors are included (the hard-only fallback is unbounded —
+#: it must be complete to uphold the invariant).
+COMBINED_NODE_BUDGET = 20_000
+
+
+def order_is_satisfiable(
+    search: "GroundingSearch", order: Sequence[PendingTransaction]
+) -> bool:
+    """Satisfiability check used by the semantic reorder strategy."""
+    formula = compose_sequence([entry.renamed for entry in order])
+    return search.exists(formula)
+
+
+def compute_grounding_plan(
+    search: "GroundingSearch",
+    serializability: SerializabilityMode,
+    partition: Partition,
+    targets: Sequence[PendingTransaction],
+) -> tuple[GroundingPlan, Substitution | None, dict[int, int]]:
+    """The pure plan computation: serialization order plus a grounding.
+
+    This is the whole read-only half of grounding as a module-level
+    function of ``(search, serializability, partition, targets)`` — no
+    closures, no locks, no reference to a :class:`QuantumState` — so the
+    process shard backend can run it in a worker process against a shipped
+    snapshot (:mod:`repro.sharding.backend`) and get bit-identical results
+    to the in-process path.
+
+    Returns:
+        ``(plan, substitution, satisfied)``; ``substitution`` is ``None``
+        when no grounding exists (an invariant violation the caller turns
+        into an error).
+    """
+    plan = grounding_plan(
+        serializability,
+        partition,
+        targets,
+        lambda order: order_is_satisfiable(search, order),
+    )
+    order = list(plan.to_ground) + list(plan.remaining_order)
+    substitution, satisfied_atoms = choose_grounding(search, order, plan.to_ground)
+    return plan, substitution, satisfied_atoms
+
+
+def choose_grounding(
+    search: "GroundingSearch",
+    order: Sequence[PendingTransaction],
+    to_ground: Sequence[PendingTransaction],
+) -> tuple[Substitution | None, dict[int, int]]:
+    """Find a grounding of the order, maximising the prefix's optionals.
+
+    The transactions being grounded now (``to_ground``) form a prefix of
+    ``order``.  The search is decomposed exactly the way the paper's
+    solution cache suggests:
+
+    1. ground the prefix alone, preferring groundings that satisfy its
+       optional atoms (all of them first, then a greedy maximal subset);
+    2. for each candidate prefix grounding, check that the remaining
+       pending transactions are still jointly satisfiable (extending the
+       candidate), which is what guarantees the invariant survives;
+    3. fall back to a grounding of the whole order without optional
+       atoms if preferences cannot be accommodated.
+
+    Returns:
+        ``(substitution, satisfied)`` where the substitution covers both
+        the prefix and a witness for the suffix, and ``satisfied`` maps
+        each grounded transaction id to its satisfied-optional count at
+        search time.
+    """
+    satisfied: dict[int, int] = {entry.transaction_id: 0 for entry in to_ground}
+    prefix = list(to_ground)
+    prefix_ids = {entry.transaction_id for entry in prefix}
+    suffix = [entry for entry in order if entry.transaction_id not in prefix_ids]
+
+    prefix_hard = compose_sequence([entry.renamed for entry in prefix])
+    prefix_required = frozenset().union(
+        *(entry.renamed.hard_variables() for entry in prefix)
+    ) if prefix else frozenset()
+    suffix_formula, suffix_required = _suffix_formula(prefix, suffix)
+    optional_atoms = _optional_factors(order, to_ground)
+
+    def attempt(
+        selected: Sequence[tuple[int, Atom, Formula]]
+    ) -> Substitution | None:
+        """Try to ground the prefix with ``selected`` optional factors.
+
+        Strategy: enumerate a handful of prefix groundings and extend
+        each over the suffix (cheap in the common, under-constrained
+        case).  If none of those candidates extends — e.g. every early
+        candidate sits on a seat a later pinned transaction needs — fall
+        back to one *combined* prefix-and-suffix search, which is
+        complete; a node budget keeps the combined search from thrashing
+        when optional factors are involved.
+        """
+        formula = conjunction(
+            [prefix_hard] + [factor for _txn, _atom, factor in selected]
+        )
+        candidates = search.find(
+            formula, required=prefix_required, limit=PREFIX_CANDIDATES
+        )
+        for candidate in candidates:
+            if not suffix:
+                return candidate.substitution
+            extended = search.find_one(
+                suffix_formula,
+                required=suffix_required,
+                initial=candidate.substitution,
+            )
+            if extended.satisfiable:
+                return extended.substitution
+        if not suffix:
+            return None
+        combined = search.find_one(
+            conjunction([formula, suffix_formula]),
+            required=prefix_required | suffix_required,
+            node_budget=COMBINED_NODE_BUDGET if selected else None,
+        )
+        return combined.substitution if combined.satisfiable else None
+
+    if optional_atoms:
+        solution = attempt(optional_atoms)
+        if solution is not None:
+            for txn_id, _atom, _factor in optional_atoms:
+                satisfied[txn_id] += 1
+            return solution, satisfied
+        # Greedy maximal subset of optional atoms.
+        accepted: list[tuple[int, Atom, Formula]] = []
+        best: Substitution | None = None
+        for candidate_atom in optional_atoms:
+            solution = attempt(accepted + [candidate_atom])
+            if solution is not None:
+                accepted.append(candidate_atom)
+                best = solution
+        if best is not None:
+            for txn_id, _atom, _factor in accepted:
+                satisfied[txn_id] += 1
+            return best, satisfied
+    solution = attempt([])
+    if solution is not None:
+        return solution, satisfied
+    return None, satisfied
+
+
+def _suffix_formula(
+    prefix: Sequence[PendingTransaction],
+    suffix: Sequence[PendingTransaction],
+) -> tuple[Formula, frozenset[Variable]]:
+    """Composed body of the suffix, rewritten against the prefix updates."""
+    accumulated: list[Atom] = [
+        atom for entry in prefix for atom in entry.renamed.updates
+    ]
+    factors: list[Formula] = []
+    required: set[Variable] = set()
+    for entry in suffix:
+        factors.append(
+            rewrite_body_against_updates(entry.renamed.hard_body, accumulated)
+        )
+        accumulated.extend(entry.renamed.updates)
+        required |= entry.renamed.hard_variables()
+    return conjunction(factors) if factors else TRUE, frozenset(required)
+
+
+def _optional_factors(
+    order: Sequence[PendingTransaction],
+    to_ground: Sequence[PendingTransaction],
+) -> list[tuple[int, Atom, Formula]]:
+    """Optional atoms of the to-be-grounded entries, rewritten in context.
+
+    Each optional atom is rewritten against the update portions of the
+    transactions that precede its owner in the serialization order, the
+    same way hard atoms are during composition.
+    """
+    to_ground_ids = {entry.transaction_id for entry in to_ground}
+    factors: list[tuple[int, Atom, Formula]] = []
+    accumulated: list[Atom] = []
+    for entry in order:
+        if entry.transaction_id in to_ground_ids:
+            for atom in entry.renamed.optional_body:
+                factors.append(
+                    (
+                        entry.transaction_id,
+                        atom,
+                        rewrite_atom_against_updates(atom, accumulated),
+                    )
+                )
+        accumulated.extend(entry.renamed.updates)
+    return factors
 
 
 @dataclass
@@ -340,6 +540,7 @@ class QuantumState:
         *,
         forced: bool = False,
         executor: Executor | None = None,
+        timeout_s: float | None = None,
     ) -> list[GroundedTransaction]:
         """Fix value assignments for the given pending transactions.
 
@@ -358,6 +559,13 @@ class QuantumState:
                 cannot unify, so the rows their plans ground on are
                 disjoint — which makes the plans valid regardless of the
                 order the (serial) apply phase later executes them in.
+            timeout_s: optional per-plan bound on how long to wait for a
+                fanned-out plan future.  Applies to the sharded and
+                executor paths only (inline plans run on the caller's
+                thread).  On expiry a
+                :class:`~repro.errors.GroundingTimeout` is raised *before*
+                any apply phase ran, so the database state is unchanged —
+                every targeted transaction simply stays pending.
         """
         grouped: dict[int, tuple[Partition, list[PendingTransaction]]] = {}
         for transaction_id in transaction_ids:
@@ -375,25 +583,44 @@ class QuantumState:
             and len(groups) > 1
         ):
             # Sharded execution: each partition's read-only plan runs on
-            # the executor of the shard that owns it; the mutating apply
-            # phase stays serial, in deterministic group order.
+            # the executor of the shard that owns it — in-process for the
+            # thread backend, via a pickled PlanPayload round-trip for the
+            # process backend — while the mutating apply phase stays
+            # serial, in deterministic group order.
             planned = plan_on_shards(
                 groups,
                 lambda partition, entries: self.plan_grounding(
                     partition, entries, forced=forced
                 ),
+                payload_builder=self._build_plan_payload(forced),
+                timeout_s=timeout_s,
             )
-            for plan in planned:
+            for group, plan in zip(groups, planned):
+                if not isinstance(plan, PlannedGrounding):
+                    plan = self._resolve_plan_result(group[0], plan)
                 results.extend(self.apply_grounding(plan))
         elif executor is not None and len(groups) > 1:
-            planned = list(
-                executor.map(
-                    lambda group: self.plan_grounding(
-                        group[0], group[1], forced=forced
-                    ),
-                    groups,
+            # Per-future timeout (matching the sharded path), not a single
+            # cumulative deadline over the whole batch: a slow-but-healthy
+            # fan-out must not be misreported as a hung worker.
+            futures = [
+                executor.submit(
+                    self.plan_grounding, partition, entries, forced=forced
                 )
-            )
+                for partition, entries in groups
+            ]
+            planned = []
+            try:
+                for future in futures:
+                    planned.append(future.result(timeout=timeout_s))
+            except FutureTimeoutError as exc:
+                for future in futures:
+                    future.cancel()
+                raise GroundingTimeout(
+                    f"grounding plan future exceeded {timeout_s}s; state is "
+                    "unchanged (no plan was applied) and the targeted "
+                    "transactions stay pending"
+                ) from exc
             for plan in planned:
                 results.extend(self.apply_grounding(plan))
         else:
@@ -403,12 +630,74 @@ class QuantumState:
                 )
         return results
 
+    def _build_plan_payload(self, forced: bool) -> Callable[..., Any]:
+        """Payload factory for the process shard backend's plan shipping.
+
+        Returns a callable the sharded partition manager invokes per group
+        to obtain the picklable :class:`~repro.sharding.backend.PlanPayload`
+        it ships to the owning worker process.  Only consulted when the
+        manager's backend is process-based.  One table-snapshot cache is
+        shared across the groups of the call: partitions of the same
+        fan-out typically touch the same relations, so each table is
+        walked once rather than once per group.
+        """
+        snapshot_cache: dict[str, Any] = {}
+
+        def build(
+            partition: Partition, targets: Sequence[PendingTransaction]
+        ):
+            from repro.sharding.backend import build_payload
+
+            return build_payload(
+                partition,
+                targets,
+                database=self.database,
+                serializability=self.serializability,
+                forced=forced,
+                snapshot_cache=snapshot_cache,
+            )
+
+        return build
+
+    def _resolve_plan_result(
+        self, partition: Partition, result: "PlanResult"
+    ) -> PlannedGrounding:
+        """Rehydrate a worker process's picklable plan into local objects.
+
+        The worker plans over shipped copies of the pending entries; the
+        writer maps the returned transaction ids back onto *its* entry
+        objects, so the apply phase mutates the real partition.
+        """
+        self.cache.search.absorb_nodes(result.search_nodes)
+        if not result.satisfiable:
+            raise QuantumStateError(
+                "quantum database invariant violated: no grounding exists for "
+                f"partition #{partition.partition_id}"
+            )
+        by_id = {entry.transaction_id: entry for entry in partition.pending}
+        plan = GroundingPlan(
+            to_ground=tuple(by_id[i] for i in result.to_ground_ids),
+            remaining_order=tuple(by_id[i] for i in result.remaining_ids),
+            reordered=result.reordered,
+        )
+        assert result.substitution is not None
+        return PlannedGrounding(
+            partition=partition,
+            plan=plan,
+            substitution=result.substitution,
+            satisfied_atoms=dict(result.satisfied_atoms),
+            forced=result.forced,
+        )
+
     def ground_all(
-        self, *, executor: Executor | None = None
+        self,
+        *,
+        executor: Executor | None = None,
+        timeout_s: float | None = None,
     ) -> list[GroundedTransaction]:
         """Ground every pending transaction (used at workload end)."""
         ids = [entry.transaction_id for entry in self.pending_transactions()]
-        return self.ground(ids, executor=executor)
+        return self.ground(ids, executor=executor, timeout_s=timeout_s)
 
     def plan_grounding(
         self,
@@ -420,23 +709,18 @@ class QuantumState:
         """The read-only half of grounding: pick an order and a substitution.
 
         Runs the serializability planner and the preference-maximising
-        grounding search, mutating no shared state (the search's own
-        counters are lock-guarded) — safe to run concurrently for
-        *different* partitions while no writes are in flight (the
-        single-writer session loop guarantees that).
+        grounding search (:func:`compute_grounding_plan`), mutating no
+        shared state (the search's own counters are lock-guarded) — safe
+        to run concurrently for *different* partitions while no writes are
+        in flight (the single-writer session loop guarantees that).
 
         Raises:
             QuantumStateError: if no grounding exists, i.e. the quantum
                 database invariant was somehow violated.
         """
-        plan = grounding_plan(
-            self.serializability,
-            partition,
-            targets,
-            lambda order: self._order_is_satisfiable(order),
+        plan, substitution, satisfied_atoms = compute_grounding_plan(
+            self.cache.search, self.serializability, partition, targets
         )
-        order = list(plan.to_ground) + list(plan.remaining_order)
-        substitution, satisfied_atoms = self._choose_grounding(order, plan.to_ground)
         if substitution is None:
             raise QuantumStateError(
                 "quantum database invariant violated: no grounding exists for "
@@ -476,164 +760,6 @@ class QuantumState:
         return self.apply_grounding(
             self.plan_grounding(partition, targets, forced=forced)
         )
-
-    def _order_is_satisfiable(self, order: Sequence[PendingTransaction]) -> bool:
-        """Satisfiability check used by the semantic reorder strategy."""
-        formula = compose_sequence([entry.renamed for entry in order])
-        return self.cache.search.exists(formula)
-
-    #: How many candidate prefix groundings are tried before giving up on a
-    #: particular set of optional atoms (each candidate costs one suffix
-    #: satisfiability check).
-    _PREFIX_CANDIDATES = 8
-    #: Node budget for the combined prefix-and-suffix fallback search when
-    #: optional factors are included (the hard-only fallback is unbounded —
-    #: it must be complete to uphold the invariant).
-    _COMBINED_NODE_BUDGET = 20_000
-
-    def _choose_grounding(
-        self,
-        order: Sequence[PendingTransaction],
-        to_ground: Sequence[PendingTransaction],
-    ) -> tuple[Substitution | None, dict[int, int]]:
-        """Find a grounding of the order, maximising the prefix's optionals.
-
-        The transactions being grounded now (``to_ground``) form a prefix of
-        ``order``.  The search is decomposed exactly the way the paper's
-        solution cache suggests:
-
-        1. ground the prefix alone, preferring groundings that satisfy its
-           optional atoms (all of them first, then a greedy maximal subset);
-        2. for each candidate prefix grounding, check that the remaining
-           pending transactions are still jointly satisfiable (extending the
-           candidate), which is what guarantees the invariant survives;
-        3. fall back to a grounding of the whole order without optional
-           atoms if preferences cannot be accommodated.
-
-        Returns:
-            ``(substitution, satisfied)`` where the substitution covers both
-            the prefix and a witness for the suffix, and ``satisfied`` maps
-            each grounded transaction id to its satisfied-optional count at
-            search time.
-        """
-        satisfied: dict[int, int] = {entry.transaction_id: 0 for entry in to_ground}
-        prefix = list(to_ground)
-        prefix_ids = {entry.transaction_id for entry in prefix}
-        suffix = [entry for entry in order if entry.transaction_id not in prefix_ids]
-
-        prefix_hard = compose_sequence([entry.renamed for entry in prefix])
-        prefix_required = frozenset().union(
-            *(entry.renamed.hard_variables() for entry in prefix)
-        ) if prefix else frozenset()
-        suffix_formula, suffix_required = self._suffix_formula(prefix, suffix)
-        optional_atoms = self._optional_factors(order, to_ground)
-
-        def attempt(
-            selected: Sequence[tuple[int, Atom, Formula]]
-        ) -> Substitution | None:
-            """Try to ground the prefix with ``selected`` optional factors.
-
-            Strategy: enumerate a handful of prefix groundings and extend
-            each over the suffix (cheap in the common, under-constrained
-            case).  If none of those candidates extends — e.g. every early
-            candidate sits on a seat a later pinned transaction needs — fall
-            back to one *combined* prefix-and-suffix search, which is
-            complete; a node budget keeps the combined search from thrashing
-            when optional factors are involved.
-            """
-            formula = conjunction(
-                [prefix_hard] + [factor for _txn, _atom, factor in selected]
-            )
-            candidates = self.cache.search.find(
-                formula, required=prefix_required, limit=self._PREFIX_CANDIDATES
-            )
-            for candidate in candidates:
-                if not suffix:
-                    return candidate.substitution
-                extended = self.cache.search.find_one(
-                    suffix_formula,
-                    required=suffix_required,
-                    initial=candidate.substitution,
-                )
-                if extended.satisfiable:
-                    return extended.substitution
-            if not suffix:
-                return None
-            combined = self.cache.search.find_one(
-                conjunction([formula, suffix_formula]),
-                required=prefix_required | suffix_required,
-                node_budget=self._COMBINED_NODE_BUDGET if selected else None,
-            )
-            return combined.substitution if combined.satisfiable else None
-
-        if optional_atoms:
-            solution = attempt(optional_atoms)
-            if solution is not None:
-                for txn_id, _atom, _factor in optional_atoms:
-                    satisfied[txn_id] += 1
-                return solution, satisfied
-            # Greedy maximal subset of optional atoms.
-            accepted: list[tuple[int, Atom, Formula]] = []
-            best: Substitution | None = None
-            for candidate_atom in optional_atoms:
-                solution = attempt(accepted + [candidate_atom])
-                if solution is not None:
-                    accepted.append(candidate_atom)
-                    best = solution
-            if best is not None:
-                for txn_id, _atom, _factor in accepted:
-                    satisfied[txn_id] += 1
-                return best, satisfied
-        solution = attempt([])
-        if solution is not None:
-            return solution, satisfied
-        return None, satisfied
-
-    def _suffix_formula(
-        self,
-        prefix: Sequence[PendingTransaction],
-        suffix: Sequence[PendingTransaction],
-    ) -> tuple[Formula, frozenset[Variable]]:
-        """Composed body of the suffix, rewritten against the prefix updates."""
-        accumulated: list[Atom] = [
-            atom for entry in prefix for atom in entry.renamed.updates
-        ]
-        factors: list[Formula] = []
-        required: set[Variable] = set()
-        for entry in suffix:
-            factors.append(
-                rewrite_body_against_updates(entry.renamed.hard_body, accumulated)
-            )
-            accumulated.extend(entry.renamed.updates)
-            required |= entry.renamed.hard_variables()
-        return conjunction(factors) if factors else TRUE, frozenset(required)
-
-    def _optional_factors(
-        self,
-        order: Sequence[PendingTransaction],
-        to_ground: Sequence[PendingTransaction],
-    ) -> list[tuple[int, Atom, Formula]]:
-        """Optional atoms of the to-be-grounded entries, rewritten in context.
-
-        Each optional atom is rewritten against the update portions of the
-        transactions that precede its owner in the serialization order, the
-        same way hard atoms are during composition.
-        """
-        to_ground_ids = {entry.transaction_id for entry in to_ground}
-        factors: list[tuple[int, Atom, Formula]] = []
-        accumulated: list[Atom] = []
-        for entry in order:
-            if entry.transaction_id in to_ground_ids:
-                for atom in entry.renamed.optional_body:
-                    factors.append(
-                        (
-                            entry.transaction_id,
-                            atom,
-                            rewrite_atom_against_updates(atom, accumulated),
-                        )
-                    )
-            accumulated.extend(entry.renamed.updates)
-        return factors
 
     def _execute_grounding(
         self,

@@ -21,13 +21,13 @@ unification, grounding them, and evaluating the query) lives in
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Sequence
 
 from repro.errors import QuantumError
 from repro.logic.atoms import Atom, AtomKind
 from repro.logic.terms import Constant, Variable
-from repro.relational.query import ConjunctiveQuery, QueryAtom, Var
+from repro.relational.query import ConjunctiveQuery, Var
 
 
 class ReadMode(enum.Enum):

@@ -28,7 +28,7 @@ record, and WAL checkpoints snapshot it like any other table (see
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable
+from typing import Iterable
 
 from repro.core.parser import format_transaction, parse_transaction
 from repro.core.resource_transaction import ResourceTransaction

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Mapping
 
 from repro.errors import InvalidTransactionError
 from repro.logic.atoms import Atom, AtomKind, atoms_variables

@@ -35,7 +35,7 @@ cache for every composed transaction").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
 from repro.core.partition import Partition

@@ -18,8 +18,8 @@ of groundings.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
 
 from repro.core.resource_transaction import ResourceTransaction
 from repro.logic.formula import atoms_to_formula

@@ -14,7 +14,6 @@ runs; see :mod:`repro.experiments.table2`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from repro.experiments.metrics import RunResult
 from repro.experiments.report import format_table, print_report

@@ -13,7 +13,6 @@ small and cheap.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from repro.experiments.metrics import RunResult
 from repro.experiments.report import format_table, print_report

@@ -8,7 +8,7 @@ crossovers are).
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Iterable, Sequence
 
 
 def format_table(

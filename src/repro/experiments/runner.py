@@ -8,8 +8,6 @@ adjacent to their partner's booked seat on the same flight.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
 
 from repro.baselines.intelligent_social import IntelligentSocialClient
 from repro.core.quantum_database import QuantumConfig, QuantumDatabase

@@ -14,7 +14,7 @@ pieces of metadata from the resource-transaction syntax:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
 from repro.errors import LogicError

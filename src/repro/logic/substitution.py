@@ -8,14 +8,11 @@ most-general-unifier definition) and application to atoms and formulas.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping
+from typing import Any, Iterable, Iterator, Mapping
 
 from repro.errors import SubstitutionError
 from repro.logic.atoms import Atom
 from repro.logic.terms import Constant, Term, Variable, as_term
-
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.logic.formula import Formula
 
 
 class Substitution:

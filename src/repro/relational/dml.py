@@ -10,8 +10,8 @@ are supported.  Statements are plain descriptions; the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any, Mapping
 
 from repro.relational.conditions import Condition
 

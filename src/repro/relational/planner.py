@@ -22,7 +22,7 @@ just like the paper's configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import JoinLimitExceededError, PlannerError, UnknownTableError
 from repro.relational.query import ConjunctiveQuery, QueryAtom, Var

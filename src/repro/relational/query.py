@@ -14,7 +14,7 @@ output variables, and an optional ``limit``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Sequence
 
 from repro.errors import SchemaError
 from repro.relational.conditions import Condition

@@ -14,7 +14,7 @@ composed bodies, partitions and solution cache — is reconstructed.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from typing import Callable
 
 from repro.errors import MissingRowError, RecoveryError
 from repro.relational.database import Database

@@ -9,8 +9,8 @@ semantics), which is exactly the normalization fallback the paper mentions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
 
 from repro.errors import SchemaError, UnknownColumnError
 from repro.relational.datatypes import DataType

@@ -20,7 +20,7 @@ from __future__ import annotations
 import enum
 from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
-from repro.errors import TransactionAborted, TransactionError
+from repro.errors import TransactionError
 from repro.relational.dml import Delete, Insert, Statement, Update
 from repro.relational.row import Row
 from repro.relational.wal import WriteAheadLog

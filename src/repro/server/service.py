@@ -153,6 +153,14 @@ class ServerConfig:
             session that already has this many items in flight gets a typed
             :class:`~repro.errors.SessionBackpressure` error instead of
             silently occupying the shared queue and starving other clients.
+        grounding_timeout_s: bound on waiting for each fanned-out grounding
+            plan future (shard executors — thread or process — and the
+            server's own pool alike).  ``None`` (default) waits forever.
+            With a bound, a hung or slow worker resolves the submitter's
+            future with a typed :class:`~repro.errors.GroundingTimeout`
+            instead of wedging the single writer; the plan phase is
+            read-only, so the database state is unchanged and the targeted
+            transactions simply stay pending.
         checkpoint_policy: periodic WAL checkpointing for long-running
             servers (see :class:`CheckpointPolicy`); ``None`` checkpoints
             only on graceful shutdown.
@@ -169,6 +177,7 @@ class ServerConfig:
     executor_workers: int = 2
     queue_depth: int = 1024
     session_quota: int | None = None
+    grounding_timeout_s: float | None = None
     checkpoint_policy: CheckpointPolicy | None = None
     checkpoint_on_shutdown: bool = True
     wal_path: str | None = None
@@ -179,6 +188,11 @@ class ServerConfig:
             raise QuantumError(
                 "ServerConfig.session_quota must be at least 1 (or None): a "
                 "zero quota would reject every submission forever"
+            )
+        if self.grounding_timeout_s is not None and self.grounding_timeout_s <= 0:
+            raise QuantumError(
+                "ServerConfig.grounding_timeout_s must be positive (or None "
+                "to wait without bound)"
             )
 
 
@@ -350,8 +364,10 @@ class QuantumServer:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
         # Release the sharded database's lazily started shard executors as
-        # well; they restart lazily if the database outlives the server and
-        # fans grounding plans out again.
+        # well — joining thread pools and process pools alike (the queue
+        # was already drained, so no plan future is outstanding); they
+        # restart lazily if the database outlives the server and fans
+        # grounding plans out again.
         self.qdb.close()
         # The sink stays attached (and open): the database outlives the
         # server, and post-shutdown synchronous mutations must keep landing
@@ -653,10 +669,17 @@ class QuantumServer:
             return None
         if item.kind is WorkKind.GROUND:
             self.statistics.grounds += 1
-            return self.qdb.ground(item.payload, executor=self._executor)
+            return self.qdb.ground(
+                item.payload,
+                executor=self._executor,
+                timeout_s=self.config.grounding_timeout_s,
+            )
         if item.kind is WorkKind.GROUND_ALL:
             self.statistics.grounds += 1
-            return self.qdb.ground_all(executor=self._executor)
+            return self.qdb.ground_all(
+                executor=self._executor,
+                timeout_s=self.config.grounding_timeout_s,
+            )
         raise QuantumError(f"unknown work item kind {item.kind!r}")
 
     # -- grounding notifications --------------------------------------------

@@ -30,7 +30,7 @@ Typical usage::
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.core.quantum_database import CommitResult

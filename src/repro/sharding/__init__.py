@@ -10,16 +10,28 @@ partitions (see ``docs/architecture.md``, "Sharded partition execution"):
   exhaustive scan when imprecise (decisions are bit-identical either way);
 * :class:`~repro.sharding.shard.Shard` — a worker owning a disjoint set of
   partitions plus the executor the grounding plan phase fans out on
-  (thread-based today, interface sized for a process backend);
+  (a thread pool or a process pool, selected by
+  :class:`~repro.sharding.backend.ShardBackend`);
+* :mod:`repro.sharding.backend` — the executor strategies and the process
+  backend's picklable plan shipping
+  (:class:`~repro.sharding.backend.PlanPayload` →
+  :class:`~repro.sharding.backend.PlanResult`);
 * :class:`~repro.sharding.manager.ShardedPartitionManager` — the drop-in
   :class:`~repro.core.partition.PartitionManager` that routes admissions
   through the index, serializes the rare cross-shard merge, and keeps the
   shared :class:`~repro.sharding.manager.PendingTable` for global
   ``k``-bound accounting.
 
-Enable it with ``QuantumConfig(shards=N)``.
+Enable it with ``QuantumConfig(shards=N)``; pick the executor strategy
+with ``QuantumConfig(shard_backend="thread" | "process")``.
 """
 
+from repro.sharding.backend import (
+    PlanPayload,
+    PlanResult,
+    ShardBackend,
+    TableSnapshot,
+)
 from repro.sharding.manager import (
     PendingRef,
     PendingTable,
@@ -32,9 +44,13 @@ from repro.sharding.signature import SignatureIndex, SignatureIndexStatistics
 __all__ = [
     "PendingRef",
     "PendingTable",
+    "PlanPayload",
+    "PlanResult",
     "Shard",
+    "ShardBackend",
     "ShardedPartitionManager",
     "ShardedPartitionStatistics",
     "SignatureIndex",
     "SignatureIndexStatistics",
+    "TableSnapshot",
 ]

@@ -1,0 +1,291 @@
+"""Shard execution backends: in-process threads or worker processes.
+
+The thread backend (the default) runs each partition's read-only grounding
+plan on a :class:`~concurrent.futures.ThreadPoolExecutor` owned by the
+shard — cheap, shares the writer's heap, but the GIL serializes the actual
+search work.  The process backend ships the plan to a
+:class:`~concurrent.futures.ProcessPoolExecutor` worker instead, so
+independent partitions' grounding searches run truly in parallel.
+
+Nothing in the writer's heap is shared with a worker process, so the plan
+phase must travel as data.  The lifecycle is:
+
+1. **Payload** — the writer snapshots exactly what the pure plan function
+   (:func:`repro.core.quantum_state.compute_grounding_plan`) reads: the
+   partition's pending entries (whose renamed transactions *are* the
+   composed body, factor by factor), its cached-solution witness state,
+   the target ids, the serializability mode, and the rows of every
+   relation the partition touches (in insertion order, with the same
+   secondary indexes — row enumeration order is what makes the worker's
+   backtracking search bit-identical to the writer's).  All of it is a
+   frozen, picklable :class:`PlanPayload`.
+2. **Worker** — :func:`plan_in_worker` unpickles the payload, rebuilds a
+   throwaway :class:`~repro.relational.database.Database` and
+   :class:`~repro.core.partition.Partition` from it, and runs the same
+   module-level plan computation the in-process path uses.  No locks, no
+   callbacks, no writer state.
+3. **Result** — the worker returns a picklable :class:`PlanResult` carrying
+   transaction *ids* (not entry objects) plus the grounding substitution;
+   the writer maps the ids back onto its own pending entries and applies
+   the plan serially, exactly as it applies thread-backend plans.
+
+Decisions are bit-identical across backends: the snapshot preserves row
+insertion order and index structure, the plan function is deterministic,
+and the mutating apply phase never leaves the single writer.
+"""
+
+from __future__ import annotations
+
+import enum
+import pickle
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from repro.core.partition import Partition
+from repro.core.serializability import SerializabilityMode
+from repro.errors import QuantumError
+from repro.logic.substitution import Substitution
+from repro.relational.database import Database
+from repro.relational.schema import Column
+from repro.solver.grounding import GroundingSearch
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.quantum_state import PendingTransaction
+
+
+class ShardBackend(enum.Enum):
+    """Executor strategy of a shard (``QuantumConfig(shard_backend=...)``)."""
+
+    THREAD = "thread"
+    PROCESS = "process"
+
+    @classmethod
+    def coerce(cls, value: "ShardBackend | str") -> "ShardBackend":
+        """Accept the enum itself or its lowercase string name."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            names = ", ".join(repr(member.value) for member in cls)
+            raise QuantumError(
+                f"unknown shard backend {value!r}; expected one of {names}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class TableSnapshot:
+    """One relation's rows and structure, as shipped to a worker process.
+
+    Attributes:
+        name: relation name.
+        columns: column declarations (types preserved).
+        key: primary-key column names.
+        indexes: column tuples of the secondary indexes; recreated in the
+            worker so index-driven row enumeration matches the writer's.
+        rows: row value tuples in the writer's insertion order — the order
+            every scan, bucket and therefore grounding-search choice point
+            enumerates.
+    """
+
+    name: str
+    columns: tuple[Column, ...]
+    key: tuple[str, ...]
+    indexes: tuple[tuple[str, ...], ...]
+    rows: tuple[tuple[Any, ...], ...]
+
+
+@dataclass(frozen=True)
+class PlanPayload:
+    """Everything a worker process needs to plan one partition's grounding.
+
+    Attributes:
+        partition_id: the writer-side partition id (round-trip bookkeeping
+            and error messages only; the worker's rebuilt partition gets a
+            fresh local id).
+        entries: the partition's full pending sequence, in serialization
+            order.  The renamed transactions carried by the entries are the
+            composed body, factor by factor.
+        target_ids: ids of the transactions to ground now.
+        serializability: STRICT or SEMANTIC.
+        forced: whether this grounding was forced by the ``k`` bound.
+        cached_solution: the partition's witness state — the last known
+            satisfying substitution.  Shipped so the worker's rebuilt
+            partition is a complete snapshot of the writer's; note the
+            deterministic plan search does **not** consume it today (a
+            witness-seeded search would change which grounding is found
+            and break backend bit-identity), so it exists for
+            introspection and for a future plan path that can use it on
+            both backends symmetrically.
+        tables: snapshots of every relation the partition touches.
+    """
+
+    partition_id: int
+    entries: tuple["PendingTransaction", ...]
+    target_ids: tuple[int, ...]
+    serializability: SerializabilityMode
+    forced: bool
+    cached_solution: Substitution | None
+    tables: tuple[TableSnapshot, ...]
+
+
+@dataclass(frozen=True)
+class PlanResult:
+    """A worker process's plan, expressed in picklable ids and values.
+
+    Attributes:
+        partition_id: echo of :attr:`PlanPayload.partition_id`.
+        satisfiable: False when no grounding exists (the writer raises the
+            same invariant error the in-process path would).
+        to_ground_ids: transaction ids to ground now, in execution order.
+        remaining_ids: serialization order of the transactions that stay
+            pending afterwards.
+        reordered: whether the semantic mode fronted the targets.
+        substitution: the grounding found (``None`` iff unsatisfiable).
+        satisfied_atoms: per-transaction satisfied-optional counts at
+            search time.
+        forced: echo of :attr:`PlanPayload.forced`.
+        search_nodes: grounding-search nodes the worker expanded (the
+            writer folds this into its own search totals so the counters
+            stay comparable across backends).
+    """
+
+    partition_id: int
+    satisfiable: bool
+    to_ground_ids: tuple[int, ...]
+    remaining_ids: tuple[int, ...]
+    reordered: bool
+    substitution: Substitution | None
+    satisfied_atoms: dict[int, int]
+    forced: bool
+    search_nodes: int = 0
+
+
+def snapshot_tables(
+    database: Database,
+    relations: Iterable[str],
+    cache: dict[str, TableSnapshot] | None = None,
+) -> tuple[TableSnapshot, ...]:
+    """Snapshot the given relations for shipping to a worker process.
+
+    Relations the store has no table for are skipped: the grounding search
+    treats a missing table as an empty relation, and the worker's rebuilt
+    database reproduces exactly that by not creating it either.
+
+    Args:
+        database: the writer's store.
+        relations: relation names to snapshot.
+        cache: optional relation → snapshot memo.  Partitions of the same
+            fan-out typically touch the same relations (every flight
+            partition reads ``Available``/``Bookings``); sharing one cache
+            across a ``ground()`` call's payloads walks each table once
+            instead of once per group.  Safe because no mutation happens
+            between the payload builds of one call (single-writer rule).
+    """
+    snapshots = []
+    for relation in sorted(set(relations)):
+        if cache is not None and relation in cache:
+            snapshots.append(cache[relation])
+            continue
+        if not database.has_table(relation):
+            continue
+        table = database.table(relation)
+        snapshot = TableSnapshot(
+            name=relation,
+            columns=tuple(table.schema.columns),
+            key=tuple(table.schema.key),
+            indexes=tuple(index.columns for index in table.indexes()[1:]),
+            rows=tuple(row.values for row in table.scan()),
+        )
+        if cache is not None:
+            cache[relation] = snapshot
+        snapshots.append(snapshot)
+    return tuple(snapshots)
+
+
+def restore_database(snapshots: Sequence[TableSnapshot]) -> Database:
+    """Rebuild a throwaway store from table snapshots (worker side).
+
+    Rows are inserted directly at the table layer in snapshot order, so
+    scans, hash-index buckets and every search built on them enumerate in
+    the writer's order.
+    """
+    database = Database()
+    for snapshot in snapshots:
+        table = database.create_table(
+            snapshot.name,
+            list(snapshot.columns),
+            list(snapshot.key) or None,
+            indexes=snapshot.indexes,
+        )
+        for values in snapshot.rows:
+            table.insert(values)
+    return database
+
+
+def build_payload(
+    partition: Partition,
+    targets: Sequence["PendingTransaction"],
+    *,
+    database: Database,
+    serializability: SerializabilityMode,
+    forced: bool,
+    snapshot_cache: dict[str, TableSnapshot] | None = None,
+) -> PlanPayload:
+    """Assemble the picklable plan payload for one partition (writer side)."""
+    return PlanPayload(
+        partition_id=partition.partition_id,
+        entries=partition.pending,
+        target_ids=tuple(entry.transaction_id for entry in targets),
+        serializability=serializability,
+        forced=forced,
+        cached_solution=partition.cached_solution,
+        tables=snapshot_tables(database, partition.relations(), cache=snapshot_cache),
+    )
+
+
+def execute_payload(payload: PlanPayload) -> PlanResult:
+    """Run the read-only plan computation for a shipped payload.
+
+    This is the worker-side half of the process backend, but it is an
+    ordinary function: the equivalence tests call it in-process to pin
+    down that a payload round-trip plans exactly what the writer would.
+    """
+    from repro.core.quantum_state import compute_grounding_plan
+
+    database = restore_database(payload.tables)
+    search = GroundingSearch(database)
+    partition = Partition(payload.entries)
+    partition.cached_solution = payload.cached_solution
+    wanted = set(payload.target_ids)
+    targets = [entry for entry in payload.entries if entry.transaction_id in wanted]
+    plan, substitution, satisfied = compute_grounding_plan(
+        search, payload.serializability, partition, targets
+    )
+    return PlanResult(
+        partition_id=payload.partition_id,
+        satisfiable=substitution is not None,
+        to_ground_ids=tuple(e.transaction_id for e in plan.to_ground),
+        remaining_ids=tuple(e.transaction_id for e in plan.remaining_order),
+        reordered=plan.reordered,
+        substitution=substitution,
+        satisfied_atoms=dict(satisfied),
+        forced=payload.forced,
+        search_nodes=search.totals.nodes,
+    )
+
+
+def plan_in_worker(blob: bytes) -> PlanResult:
+    """Process-pool entry point: unpickle, plan, return the picklable result.
+
+    A module-level function (pickled by reference) taking the payload as an
+    explicit byte string: the writer pickles once, records the shipped
+    size, and the executor's own argument pickling stays O(bytes) with no
+    second object walk.
+    """
+    return execute_payload(pickle.loads(blob))
+
+
+def dump_payload(payload: PlanPayload) -> bytes:
+    """Pickle a payload with the highest protocol (writer side)."""
+    return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)

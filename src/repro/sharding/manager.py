@@ -35,12 +35,14 @@ many shards exist.
 from __future__ import annotations
 
 import threading
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 from repro.core.partition import Partition, PartitionManager, PartitionStatistics
-from repro.errors import QuantumError
+from repro.errors import GroundingTimeout, QuantumError
 from repro.logic.atoms import Atom
+from repro.sharding.backend import ShardBackend, dump_payload, plan_in_worker
 from repro.sharding.shard import Shard
 from repro.sharding.signature import SignatureIndex
 
@@ -147,12 +149,18 @@ class ShardedPartitionStatistics(PartitionStatistics):
         routed_cross_shard: overlap queries whose candidates spanned shards.
         cross_shard_merges: merges that combined partitions owned by
             different shards (serialized on the merge lock).
+        plan_payload_bytes: pickled plan-payload bytes shipped to worker
+            processes (0 on the thread backend, which submits closures).
+        worker_round_trips: plan payloads shipped to (and results received
+            from) worker processes.
     """
 
     index_filtered: int = 0
     routed_single_shard: int = 0
     routed_cross_shard: int = 0
     cross_shard_merges: int = 0
+    plan_payload_bytes: int = 0
+    worker_round_trips: int = 0
 
 
 class ShardedPartitionManager(PartitionManager):
@@ -160,17 +168,28 @@ class ShardedPartitionManager(PartitionManager):
 
     Args:
         shards: number of worker shards (≥ 1).
-        workers_per_shard: thread count of each shard's plan executor.
+        workers_per_shard: worker count of each shard's plan executor.
+        backend: shard executor strategy — ``"thread"`` (default) runs
+            plans on per-shard thread pools, ``"process"`` ships them to
+            per-shard process pools as pickled payloads (see
+            :mod:`repro.sharding.backend`).
     """
 
-    def __init__(self, shards: int = 1, *, workers_per_shard: int = 1) -> None:
+    def __init__(
+        self,
+        shards: int = 1,
+        *,
+        workers_per_shard: int = 1,
+        backend: ShardBackend | str = ShardBackend.THREAD,
+    ) -> None:
         if shards < 1:
             raise QuantumError("a sharded partition manager needs at least 1 shard")
         super().__init__()
         self.statistics: ShardedPartitionStatistics = ShardedPartitionStatistics()
         self.index = SignatureIndex()
+        self.backend = ShardBackend.coerce(backend)
         self.shards: tuple[Shard, ...] = tuple(
-            Shard(shard_id, workers=workers_per_shard)
+            Shard(shard_id, workers=workers_per_shard, backend=self.backend)
             for shard_id in range(shards)
         )
         self.pending_table = PendingTable()
@@ -278,6 +297,11 @@ class ShardedPartitionManager(PartitionManager):
         self,
         groups: Sequence[tuple[Partition, Sequence["PendingTransaction"]]],
         plan: Callable[[Partition, Sequence["PendingTransaction"]], Any],
+        *,
+        payload_builder: Callable[
+            [Partition, Sequence["PendingTransaction"]], Any
+        ] | None = None,
+        timeout_s: float | None = None,
     ) -> list[Any]:
         """Fan the read-only grounding plan phase out per owning shard.
 
@@ -285,13 +309,54 @@ class ShardedPartitionManager(PartitionManager):
         (unowned partitions fall back to the home shard); results come back
         in group order, so the caller's serial apply phase is deterministic.
         Partition independence makes the concurrent plans commute — see
-        ``docs/architecture.md`` ("Sharded partition execution").
+        ``docs/architecture.md`` ("Shard backends").
+
+        On the thread backend each group is submitted as ``plan(partition,
+        entries)`` — a plain closure sharing the writer's heap.  On the
+        process backend ``payload_builder`` assembles a picklable
+        :class:`~repro.sharding.backend.PlanPayload` per group; the manager
+        serializes it, ships it to the owning shard's worker process, and
+        returns the workers' :class:`~repro.sharding.backend.PlanResult`
+        objects (the caller rehydrates them against its own entries).
+
+        Args:
+            groups: ``(partition, entries)`` pairs to plan.
+            plan: in-process plan callable (thread backend).
+            payload_builder: payload factory (process backend); when the
+                backend is process-based and this is omitted, the thread
+                path is used (``plan`` must then be process-agnostic).
+            timeout_s: per-future bound on collecting a plan result; on
+                expiry every remaining future is cancelled (already-running
+                workers finish and are discarded) and a
+                :class:`~repro.errors.GroundingTimeout` is raised before
+                the caller applied anything.
+
+        Raises:
+            GroundingTimeout: a plan future missed the ``timeout_s`` bound.
         """
+        ship = self.backend is ShardBackend.PROCESS and payload_builder is not None
         futures = []
         for partition, entries in groups:
             shard = self._owner.get(partition.partition_id) or self._home_shard()
-            futures.append(shard.submit(plan, partition, entries))
-        return [future.result() for future in futures]
+            if ship:
+                blob = dump_payload(payload_builder(partition, entries))
+                self.statistics.plan_payload_bytes += len(blob)
+                self.statistics.worker_round_trips += 1
+                futures.append(shard.submit(plan_in_worker, blob))
+            else:
+                futures.append(shard.submit(plan, partition, entries))
+        results = []
+        try:
+            for future in futures:
+                results.append(future.result(timeout=timeout_s))
+        except FutureTimeoutError as exc:
+            for future in futures:
+                future.cancel()
+            raise GroundingTimeout(
+                f"shard plan future exceeded {timeout_s}s; no plan was "
+                "applied and the targeted transactions stay pending"
+            ) from exc
+        return results
 
     def close(self) -> None:
         """Shut down every shard's executor (idempotent)."""

@@ -8,19 +8,36 @@ which is also what the per-partition witness store is keyed by, so witness
 state hands off between shards for free) and runs the read-only grounding
 *plan* phase for its partitions on its own executor.
 
-The current backend is a thread pool (created lazily, one worker by
-default).  The abstraction is deliberately sized for a later process
-backend: ownership is tracked purely by partition id, work is submitted as
-``submit(fn, *args)`` with picklable-plan-shaped payloads, and nothing on
-the interface exposes the executor type.  Swapping
-``ThreadPoolExecutor`` for a process pool (plus a partition-state shipping
-step) changes this module only.
+The executor is created lazily (guarded by a lock: concurrent first
+submissions must not race two executors into existence and leak one) and
+comes in two flavours, selected by
+:class:`~repro.sharding.backend.ShardBackend`:
+
+* ``THREAD`` — a :class:`~concurrent.futures.ThreadPoolExecutor`; plans
+  share the writer's heap and are submitted as plain closures, but the GIL
+  serializes the actual search work.
+* ``PROCESS`` — a :class:`~concurrent.futures.ProcessPoolExecutor`; plans
+  arrive as pickled :class:`~repro.sharding.backend.PlanPayload` bytes and
+  run truly in parallel (see :mod:`repro.sharding.backend` for the payload
+  lifecycle).
+
+Ownership is tracked purely by partition id and work is submitted as
+``submit(fn, *args)`` either way — nothing on the interface exposes the
+executor type.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import Future, ThreadPoolExecutor
+import threading
+from concurrent.futures import (
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from repro.sharding.backend import ShardBackend
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.partition import Partition
@@ -32,13 +49,26 @@ class Shard:
     Attributes:
         shard_id: position of the shard in the manager's shard ring.
         partitions: the owned partitions, keyed by partition id.
+        backend: the executor strategy (thread pool or process pool).
     """
 
-    def __init__(self, shard_id: int, *, workers: int = 1) -> None:
+    def __init__(
+        self,
+        shard_id: int,
+        *,
+        workers: int = 1,
+        backend: ShardBackend | str = ShardBackend.THREAD,
+    ) -> None:
         self.shard_id = shard_id
+        self.backend = ShardBackend.coerce(backend)
         self.partitions: dict[int, "Partition"] = {}
         self._workers = max(1, workers)
-        self._executor: ThreadPoolExecutor | None = None
+        self._executor: Executor | None = None
+        #: Guards lazy executor creation *and* close: without it two
+        #: concurrent first submissions could each observe ``None`` and
+        #: create two executors, leaking one (and, for the process
+        #: backend, its worker processes).
+        self._executor_lock = threading.Lock()
 
     # -- ownership -----------------------------------------------------------
 
@@ -73,21 +103,37 @@ class Shard:
 
     def submit(self, fn: Callable[..., Any], *args: Any) -> "Future[Any]":
         """Run ``fn(*args)`` on this shard's worker (lazily started)."""
-        if self._executor is None:
-            self._executor = ThreadPoolExecutor(
-                max_workers=self._workers,
-                thread_name_prefix=f"repro-shard-{self.shard_id}",
-            )
-        return self._executor.submit(fn, *args)
+        executor = self._executor
+        if executor is None:
+            with self._executor_lock:
+                if self._executor is None:
+                    self._executor = self._create_executor()
+                executor = self._executor
+        return executor.submit(fn, *args)
+
+    def _create_executor(self) -> Executor:
+        """Build the backend's executor (callers hold the creation lock)."""
+        if self.backend is ShardBackend.PROCESS:
+            return ProcessPoolExecutor(max_workers=self._workers)
+        return ThreadPoolExecutor(
+            max_workers=self._workers,
+            thread_name_prefix=f"repro-shard-{self.shard_id}",
+        )
 
     def close(self) -> None:
-        """Shut the shard's executor down (idempotent; ownership survives)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        """Shut the shard's executor down (idempotent; ownership survives).
+
+        Joins the workers — threads or processes — before returning, so a
+        closed shard never leaks a pool; the executor restarts lazily on
+        the next :meth:`submit`.
+        """
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"<Shard #{self.shard_id} partitions={len(self.partitions)} "
-            f"pending={self.pending_count()}>"
+            f"<Shard #{self.shard_id} backend={self.backend.value} "
+            f"partitions={len(self.partitions)} pending={self.pending_count()}>"
         )

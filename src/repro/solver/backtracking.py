@@ -9,7 +9,7 @@ database's own grounding path lives in :mod:`repro.solver.grounding`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterator, Mapping
 
 from repro.solver.csp import CSP

@@ -10,8 +10,8 @@ predicates over a scope.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Hashable, Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.errors import InconsistentProblemError, SolverError
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.errors import FormulaError, GroundingError
 from repro.logic.atoms import Atom
@@ -116,6 +116,17 @@ class GroundingSearch:
         self._totals_lock = threading.Lock()
 
     # -- public API ---------------------------------------------------------
+
+    def absorb_nodes(self, nodes: int) -> None:
+        """Fold search work performed on this instance's behalf elsewhere.
+
+        The process shard backend runs plan searches in worker processes
+        against shipped snapshots; the workers report their node counts
+        back and the writer folds them in here, so ``totals.nodes`` stays
+        comparable across backends.
+        """
+        with self._totals_lock:
+            self.totals.nodes += nodes
 
     def exists(self, formula: Formula, *, initial: Substitution | None = None) -> bool:
         """True if the formula has at least one grounding (a LIMIT 1 probe)."""

@@ -12,7 +12,7 @@ elimination) used by the phase-transition ablation benchmark and by tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
 from repro.errors import SolverError

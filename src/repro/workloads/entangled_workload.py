@@ -16,8 +16,8 @@ arrival order.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from dataclasses import dataclass
+from typing import Iterator
 
 from repro.core.entanglement import (
     EntangledResourceTransaction,

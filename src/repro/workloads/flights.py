@@ -20,7 +20,7 @@ Schema:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Iterator
 
 from repro.relational.database import Database
 from repro.relational.datatypes import DataType

@@ -17,7 +17,7 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Iterator
 
 from repro.core.entanglement import EntangledResourceTransaction
 from repro.workloads.arrival_orders import ArrivalOrder

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.baselines.eager import EagerClient
 from repro.baselines.intelligent_social import IntelligentSocialClient

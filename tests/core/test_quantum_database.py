@@ -8,7 +8,6 @@ from repro.core.quantum_database import QuantumConfig, QuantumDatabase
 from repro.core.reads import ReadMode, ReadRequest
 from repro.core.serializability import SerializabilityMode
 from repro.errors import WriteRejected
-from repro.logic.atoms import Atom
 from repro.logic.terms import Variable
 from repro import make_adjacent_seat_request
 from tests.conftest import make_tiny_flight_db

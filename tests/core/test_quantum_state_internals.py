@@ -5,10 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro.core.grounding_policy import GroundingPolicy, GroundingStrategy
-from repro.core.parser import parse_transaction
 from repro.core.quantum_database import QuantumConfig, QuantumDatabase
 from repro.core.recovery import PENDING_TABLE, PendingTransactionStore
-from repro.core.serializability import SerializabilityMode
 from repro.errors import QuantumError
 from repro.relational.recovery import recover_database
 from repro.workloads.flights import FlightDatabaseSpec, build_flight_database
@@ -77,7 +75,6 @@ class TestSolutionCache:
         partition = qdb.state.partitions.partitions[0]
         cached_before = partition.cached_solution
         assert cached_before is not None
-        seat = list(cached_before.as_valuation().values())
         # Delete the exact seat the cached solution used; the write passes
         # (other seats remain) but the cache must be refreshed.
         seat_value = [v for v in cached_before.as_valuation().values() if isinstance(v, str)][0]
@@ -235,7 +232,7 @@ class TestGroundingPolicy:
             QuantumConfig(k=2, strategy=GroundingStrategy.NEWEST_FIRST),
         )
         first = qdb.execute(ANY_SEAT.format(name="Mickey", flight=123))
-        second = qdb.execute(ANY_SEAT.format(name="Goofy", flight=123))
+        qdb.execute(ANY_SEAT.format(name="Goofy", flight=123))
         third = qdb.execute(ANY_SEAT.format(name="Minnie", flight=123))
         assert not qdb.state.is_pending(third.transaction_id)
         assert qdb.state.is_pending(first.transaction_id)

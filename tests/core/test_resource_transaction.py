@@ -8,7 +8,7 @@ from repro.core.resource_transaction import ResourceTransaction
 from repro.errors import InvalidTransactionError
 from repro.logic.atoms import Atom
 from repro.logic.substitution import Substitution
-from repro.logic.terms import Constant, Variable
+from repro.logic.terms import Variable
 from repro.relational.dml import Delete, Insert
 
 F, S, S2 = Variable("f"), Variable("s"), Variable("s2")
@@ -100,6 +100,14 @@ class TestIntrospection:
         assert Variable("s@9") in renamed.variables()
         assert renamed.client == "Mickey"
 
+    def test_repr_formats_the_transaction(self):
+        """Regression: repr depends on a deferred parser import (circular
+        import with repro.core.parser) that a lint sweep once removed."""
+        txn = mickey()
+        rendered = repr(txn)
+        assert f"#{txn.transaction_id}" in rendered
+        assert "Available" in rendered and "Bookings" in rendered
+
 
 class TestGroundUpdates:
     def test_statements_produced_in_order(self):
@@ -125,7 +133,8 @@ class TestGroundUpdates:
     def test_satisfied_optionals_counting(self):
         txn = mickey()
         facts = {("Bookings", ("Goofy", 1, "1B")), ("Adjacent", (1, "1A", "1B"))}
-        oracle = lambda rel, values: (rel, values) in facts
+        def oracle(rel, values):
+            return (rel, values) in facts
         assert txn.satisfied_optionals({"f": 1, "s": "1A", "s2": "1B"}, oracle) == 2
         assert txn.satisfied_optionals({"f": 1, "s": "1C", "s2": "1B"}, oracle) == 1
         # Unbound optional variables count as unsatisfied, not as errors.

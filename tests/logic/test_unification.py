@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.logic.atoms import Atom
 from repro.logic.formula import Conjunction, Equality, FALSE, TRUE

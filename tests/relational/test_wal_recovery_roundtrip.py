@@ -167,11 +167,6 @@ class TestQuantumPendingRoundTrip:
         )
         assert all(r.committed for r in results)
         # Both pending rows were made durable under a single commit record.
-        commits = [
-            r
-            for r in qdb.database.wal.records()
-            if r.record_type is LogRecordType.COMMIT
-        ]
         pending_inserts = [
             r
             for r in qdb.database.wal.records()

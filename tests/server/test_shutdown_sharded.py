@@ -1,0 +1,148 @@
+"""Shutdown ordering on sharded servers: drain, join executors, checkpoint.
+
+``QuantumServer.shutdown()`` on a ``shards=N`` database must (in order)
+drain the admission queue — completing any grounding whose plans are in
+flight on the shard executors — then join those executors (thread pools
+and process pools alike) and fold the WAL into a checkpoint, all without
+deadlocking.  Every test runs under ``asyncio.wait_for`` so an ordering
+bug fails loudly instead of hanging the suite.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import (
+    QuantumConfig,
+    QuantumDatabase,
+    QuantumServer,
+    ServerConfig,
+    parse_transaction,
+)
+from repro.errors import GroundingTimeout, QuantumError
+from repro.relational.wal import LogRecordType
+
+BACKENDS = ("thread", "process")
+
+
+def make_qdb(*, backend, shards=2, k=16, flights=6, seats=3):
+    qdb = QuantumDatabase(
+        config=QuantumConfig(k=k, shards=shards, shard_backend=backend)
+    )
+    qdb.create_table("Available", ["flight", "seat"], key=["flight", "seat"])
+    qdb.create_table(
+        "Bookings", ["passenger", "flight", "seat"], key=["flight", "seat"]
+    )
+    qdb.load_rows(
+        "Available",
+        [(f, f"s{i}") for f in range(1, flights + 1) for i in range(seats)],
+    )
+    return qdb
+
+
+def booking(user, flight):
+    return parse_transaction(
+        f"-Available({flight}, ?s), +Bookings('{user}', {flight}, ?s)"
+        f" :-1 Available({flight}, ?s)"
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_close_while_plans_in_flight(backend):
+    """Shutdown drains a queued ground-all whose plans fan out per shard."""
+
+    async def main():
+        qdb = make_qdb(backend=backend)
+        server = await QuantumServer(qdb).start()
+        async with server.session(client="loader") as session:
+            for flight in range(1, 7):
+                result = await session.commit(booking(f"u{flight}", flight))
+                assert result.committed
+        assert qdb.pending_count == 6
+        # Enqueue the grounding but shut down before awaiting it: FIFO
+        # ordering puts the shutdown sentinel behind it, so the drain loop
+        # must fan the plans out to the shard executors (starting them
+        # lazily, mid-shutdown) and apply them before the server exits.
+        ground_task = asyncio.create_task(server.ground_all())
+        await asyncio.sleep(0)
+        await server.shutdown()
+        grounded = await ground_task
+        assert len(grounded) == 6
+        assert qdb.pending_count == 0
+        # Executors were joined (thread and process pools alike) ...
+        assert not any(shard.started for shard in qdb.state.partitions.shards)
+        # ... the WAL was folded into a checkpoint ...
+        records = list(qdb.database.wal.records())
+        assert records and records[0].record_type is LogRecordType.CHECKPOINT
+        # ... and the server no longer accepts work.
+        with pytest.raises(QuantumError):
+            await server.ground_all()
+        return qdb
+
+    asyncio.run(asyncio.wait_for(main(), timeout=60))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_shutdown_idempotent_after_grounding(backend):
+    """A second shutdown (and a post-shutdown close) is a no-op."""
+
+    async def main():
+        qdb = make_qdb(backend=backend)
+        async with QuantumServer(qdb) as server:
+            async with server.session(client="c") as session:
+                for flight in (1, 2, 3):
+                    await session.commit(booking(f"v{flight}", flight))
+                await session.ground(
+                    [t.transaction_id for t in qdb.state.pending_transactions()]
+                )
+        await server.shutdown()  # idempotent
+        qdb.close()  # executors already joined; also idempotent
+        assert qdb.pending_count == 0
+
+    asyncio.run(asyncio.wait_for(main(), timeout=60))
+
+
+def test_grounding_timeout_resolves_submitter_without_wedging_writer():
+    """A hung plan resolves the submitter with GroundingTimeout; the writer
+    keeps serving later work and shutdown still completes."""
+
+    async def main():
+        qdb = make_qdb(backend="thread")
+        server = await QuantumServer(
+            qdb, ServerConfig(grounding_timeout_s=0.05)
+        ).start()
+        async with server.session(client="c") as session:
+            for flight in (1, 2):
+                await session.commit(booking(f"w{flight}", flight))
+            original = qdb.state.plan_grounding
+
+            def hung_plan(partition, targets, *, forced=False):
+                import time
+
+                time.sleep(0.3)
+                return original(partition, targets, forced=forced)
+
+            qdb.state.plan_grounding = hung_plan
+            with pytest.raises(GroundingTimeout):
+                await session.ground(
+                    [t.transaction_id for t in qdb.state.pending_transactions()]
+                )
+            # The timeout applied nothing: both transactions stay pending,
+            # and the writer is alive — admission (which never touches the
+            # stuck plan executors) proceeds immediately.
+            assert qdb.pending_count == 2
+            result = await session.commit(booking("w3", 3))
+            assert result.committed
+            # Once the hung plans actually drain off the shard workers, a
+            # retry grounds everything normally.
+            qdb.state.plan_grounding = original
+            await asyncio.sleep(0.4)
+            grounded = await session.ground(
+                [t.transaction_id for t in qdb.state.pending_transactions()]
+            )
+            assert len(grounded) == 3
+        await server.shutdown()
+
+    asyncio.run(asyncio.wait_for(main(), timeout=60))

@@ -5,7 +5,11 @@ streams — mixing constant-pinned and wildcard transactions, so merges
 (including cross-shard ones) and the wildcard routing path all occur — the
 ``SignatureIndex``-routed ``merged_for`` must make decisions bit-identical
 to the exhaustive pairwise-unification scan: same accept/reject outcomes,
-same partition contents, same merge events, same groundings.
+same partition contents, same merge events, same groundings.  The property
+is asserted on *both* shard backends: the thread pool (plans share the
+writer's heap) and the process pool (plans travel as pickled payloads and
+run against an order-preserving snapshot) must be indistinguishable from
+the unsharded path.
 """
 
 from __future__ import annotations
@@ -14,7 +18,7 @@ import random
 
 import pytest
 
-from repro.core.partition import Partition, PartitionManager
+from repro.core.partition import PartitionManager
 from repro.core.quantum_state import PendingTransaction
 from repro.core.resource_transaction import ResourceTransaction
 from repro.logic.atoms import Atom
@@ -25,8 +29,10 @@ from repro.sharding import ShardedPartitionManager
 SEEDS = [0, 1, 2, 3, 4]
 
 
-def make_qdb(shards, *, k=4, flights=5, seats=3):
-    qdb = QuantumDatabase(config=QuantumConfig(k=k, shards=shards))
+def make_qdb(shards, *, k=4, flights=5, seats=3, backend="thread"):
+    qdb = QuantumDatabase(
+        config=QuantumConfig(k=k, shards=shards, shard_backend=backend)
+    )
     qdb.create_table("Available", ["flight", "seat"], key=["flight", "seat"])
     qdb.create_table(
         "Bookings", ["passenger", "flight", "seat"], key=["flight", "seat"]
@@ -74,10 +80,11 @@ def partition_fingerprint(manager):
 
 @pytest.mark.parametrize("seed", SEEDS)
 @pytest.mark.parametrize("shards", [2, 3])
-def test_sharded_stream_equivalent_to_exhaustive(seed, shards):
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_sharded_stream_equivalent_to_exhaustive(seed, shards, backend):
     """Same decisions, partitions, merges and groundings at every step."""
     plain = make_qdb(1)
-    sharded = make_qdb(shards)
+    sharded = make_qdb(shards, backend=backend)
     # Parse once and feed the *same* transaction objects to both databases,
     # so transaction ids (and hence partition fingerprints) are comparable.
     for text in seeded_stream(seed):

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.core.partition import Partition
 from repro.core.quantum_state import PendingTransaction

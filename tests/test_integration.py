@@ -7,7 +7,6 @@ one place, the way the examples and experiment harnesses do.
 
 from __future__ import annotations
 
-import pytest
 
 from repro import (
     QuantumConfig,
