@@ -35,7 +35,10 @@ smoke:
 docs:
 	PYTHONPATH=src $(PYTHON) -m doctest README.md docs/architecture.md
 
-gate:
+# Depends on smoke so the gate always compares a freshly emitted
+# BENCH_admission.json, never a stale working-tree copy (and `make -j`
+# cannot run the two out of order).
+gate: smoke
 	$(PYTHON) scripts/bench_gate.py
 
 lint:

@@ -19,9 +19,11 @@ path regressed:
 
 Sweep points present on only one side are reported but never fail the
 gate: the grid may legitimately grow (a new backend) or shrink across PRs.
-Runs with different workload scales (``REPRO_BENCH_SCALE``) or workload
-parameters are skipped outright — their numbers are not comparable;
-committing the fresh file re-baselines the gate.
+Runs with different workload scales (``"smoke"`` for ``-m smoke`` runs,
+else ``REPRO_BENCH_SCALE``) or workload parameters are skipped outright —
+their numbers are not comparable; committing the fresh file re-baselines
+the gate.  The committed baseline must therefore be a ``make smoke`` run,
+since that is what CI regenerates.
 
 Used as ``make gate`` (part of ``make check``), so the gate runs
 identically on a developer laptop and in the CI workflow.

@@ -1,0 +1,51 @@
+"""Collection of fanned-out grounding-plan futures under one timeout rule.
+
+Both plan fan-out paths — the sharded manager's ``plan_on_shards`` and
+:meth:`repro.core.quantum_state.QuantumState.ground`'s plain-executor path —
+collect their futures the same way: sequential ``result(timeout)`` per
+future, cancel everything on expiry, and raise
+:class:`~repro.errors.GroundingTimeout` before the caller applied any plan.
+Keeping the loop in one place keeps the two paths' timeout semantics (and
+their error message) from drifting apart.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Any, Sequence
+
+from repro.errors import GroundingTimeout
+
+
+def collect_plan_futures(
+    futures: Sequence[Future], timeout_s: float | None, *, what: str
+) -> list[Any]:
+    """Resolve plan futures in submission order under a per-future bound.
+
+    Args:
+        futures: the fanned-out plan futures, in group order (results come
+            back in the same order, keeping the serial apply phase
+            deterministic).
+        timeout_s: per-future bound; ``None`` waits indefinitely.
+        what: label naming the fan-out path in the timeout message
+            (e.g. ``"shard plan"``).
+
+    Raises:
+        GroundingTimeout: a future missed the bound.  Every remaining
+            future is cancelled (already-running workers finish and are
+            discarded), and because the plan phase is read-only no plan was
+            applied — the targeted transactions simply stay pending.
+    """
+    results: list[Any] = []
+    try:
+        for future in futures:
+            results.append(future.result(timeout=timeout_s))
+    except FutureTimeoutError as exc:
+        for future in futures:
+            future.cancel()
+        raise GroundingTimeout(
+            f"{what} future exceeded {timeout_s}s; no plan was applied and "
+            "the targeted transactions stay pending"
+        ) from exc
+    return results

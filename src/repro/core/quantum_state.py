@@ -32,7 +32,6 @@ See ``docs/architecture.md`` ("Concurrent grounding") for the full argument.
 from __future__ import annotations
 
 from concurrent.futures import Executor
-from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
 
@@ -41,6 +40,7 @@ from repro.core.composition import (
     rewrite_atom_against_updates,
     rewrite_body_against_updates,
 )
+from repro.core.futures import collect_plan_futures
 from repro.core.grounding_policy import GroundingPolicy
 from repro.core.partition import Partition, PartitionManager
 from repro.core.resource_transaction import ResourceTransaction
@@ -51,7 +51,6 @@ from repro.core.serializability import (
 )
 from repro.core.solution_cache import SolutionCache
 from repro.errors import (
-    GroundingTimeout,
     QuantumStateError,
     TransactionRejected,
     WriteRejected,
@@ -595,9 +594,17 @@ class QuantumState:
                 payload_builder=self._build_plan_payload(forced),
                 timeout_s=timeout_s,
             )
-            for group, plan in zip(groups, planned):
-                if not isinstance(plan, PlannedGrounding):
-                    plan = self._resolve_plan_result(group[0], plan)
+            # Resolve every shipped PlanResult before applying any plan:
+            # resolution raises on an unsatisfiable result, and both
+            # backends must fail *before* the first apply so no group is
+            # grounded when a later one violates the invariant.
+            resolved = [
+                plan
+                if isinstance(plan, PlannedGrounding)
+                else self._resolve_plan_result(group[0], plan)
+                for group, plan in zip(groups, planned)
+            ]
+            for plan in resolved:
                 results.extend(self.apply_grounding(plan))
         elif executor is not None and len(groups) > 1:
             # Per-future timeout (matching the sharded path), not a single
@@ -609,18 +616,9 @@ class QuantumState:
                 )
                 for partition, entries in groups
             ]
-            planned = []
-            try:
-                for future in futures:
-                    planned.append(future.result(timeout=timeout_s))
-            except FutureTimeoutError as exc:
-                for future in futures:
-                    future.cancel()
-                raise GroundingTimeout(
-                    f"grounding plan future exceeded {timeout_s}s; state is "
-                    "unchanged (no plan was applied) and the targeted "
-                    "transactions stay pending"
-                ) from exc
+            planned = collect_plan_futures(
+                futures, timeout_s, what="grounding plan"
+            )
             for plan in planned:
                 results.extend(self.apply_grounding(plan))
         else:

@@ -35,12 +35,12 @@ many shards exist.
 from __future__ import annotations
 
 import threading
-from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
+from repro.core.futures import collect_plan_futures
 from repro.core.partition import Partition, PartitionManager, PartitionStatistics
-from repro.errors import GroundingTimeout, QuantumError
+from repro.errors import QuantumError
 from repro.logic.atoms import Atom
 from repro.sharding.backend import ShardBackend, dump_payload, plan_in_worker
 from repro.sharding.shard import Shard
@@ -345,18 +345,7 @@ class ShardedPartitionManager(PartitionManager):
                 futures.append(shard.submit(plan_in_worker, blob))
             else:
                 futures.append(shard.submit(plan, partition, entries))
-        results = []
-        try:
-            for future in futures:
-                results.append(future.result(timeout=timeout_s))
-        except FutureTimeoutError as exc:
-            for future in futures:
-                future.cancel()
-            raise GroundingTimeout(
-                f"shard plan future exceeded {timeout_s}s; no plan was "
-                "applied and the targeted transactions stay pending"
-            ) from exc
-        return results
+        return collect_plan_futures(futures, timeout_s, what="shard plan")
 
     def close(self) -> None:
         """Shut down every shard's executor (idempotent)."""

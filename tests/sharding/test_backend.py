@@ -192,6 +192,39 @@ class TestProcessBackendEndToEnd:
         for qdb in databases.values():
             qdb.close()
 
+    def test_unsatisfiable_later_group_applies_nothing(self):
+        """Regression: a later group's unsatisfiable PlanResult must fail
+        *before* any earlier group's plan is applied, matching the thread
+        backend (which raises in the plan phase).  Previously the apply
+        loop interleaved resolution and application, so earlier groups
+        were already grounded when the bad result raised."""
+        import dataclasses
+
+        from repro.errors import QuantumStateError
+
+        qdb = make_qdb(2, backend="process")
+        for flight in (1, 2, 3, 4):
+            assert qdb.execute(pinned(f"u{flight}", flight)).committed
+        manager = qdb.state.partitions
+        original = manager.plan_on_shards
+
+        def sabotage_last(groups, plan, **kwargs):
+            planned = original(groups, plan, **kwargs)
+            planned[-1] = dataclasses.replace(
+                planned[-1], satisfiable=False, substitution=None
+            )
+            return planned
+
+        manager.plan_on_shards = sabotage_last
+        before = qdb.pending_count
+        assert before >= 2  # multiple groups, so there is an "earlier" one
+        with pytest.raises(QuantumStateError, match="no grounding exists"):
+            qdb.ground_all()
+        assert qdb.pending_count == before
+        manager.plan_on_shards = original
+        assert len(qdb.ground_all()) == before
+        qdb.close()
+
     def test_process_pool_shuts_down_on_close(self):
         qdb = make_qdb(2, backend="process")
         for flight in (1, 2, 3, 4):
