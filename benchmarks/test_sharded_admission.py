@@ -50,9 +50,20 @@ SHARD_COUNTS = (1, 2, 4)
 #: baseline has no shards, recorded as backend "unsharded".
 BACKENDS = ("thread", "process")
 
-#: (shards, backend) sweep points, in reporting order.
-SWEEP = ((1, "unsharded"),) + tuple(
-    (shards, backend) for shards in SHARD_COUNTS[1:] for backend in BACKENDS
+#: (shards, backend, lanes) sweep points, in reporting order.  The lane
+#: points run the same stream through ``commit_batch`` with
+#: ``admission_lanes=True`` — the router-first concurrent admission
+#: pipeline (per-shard admission writers, epoch barriers for cross-shard
+#: arrivals) — so CI gates lane-parallel admission throughput alongside
+#: the serialized sweep.
+SWEEP = (
+    ((1, "unsharded", False),)
+    + tuple(
+        (shards, backend, False)
+        for shards in SHARD_COUNTS[1:]
+        for backend in BACKENDS
+    )
+    + tuple((shards, "thread", True) for shards in SHARD_COUNTS[1:])
 )
 
 #: Where the perf trajectory lands (tracked in git, one file per repo).
@@ -72,19 +83,32 @@ def _run(
     *,
     shards: int,
     backend: str = "thread",
+    lanes: bool = False,
     k: int = 4,
     seed: int = 0,
 ):
-    """One sweep point; returns (decisions, statistics, admit_s, total_s)."""
+    """One sweep point; returns (decisions, statistics, admit_s, total_s).
+
+    Serialized points admit via per-call ``execute``; lane points admit the
+    whole stream via ``commit_batch`` (the pipeline's entry point — the
+    session layer's drain loop batches exactly like this).  Accept/reject
+    decisions are identical either way, which the test asserts.
+    """
     workload = generate_workload(spec, ArrivalOrder.RANDOM, seed=seed)
     config = QuantumConfig(
         k=k,
         shards=shards,
         shard_backend=backend if backend != "unsharded" else "thread",
+        admission_lanes=lanes,
     )
     qdb = QuantumDatabase(build_flight_database(spec), config)
     start = time.perf_counter()
-    decisions = [qdb.execute(t).committed for t in workload.transactions]
+    if lanes:
+        decisions = [
+            r.committed for r in qdb.commit_batch(list(workload.transactions))
+        ]
+    else:
+        decisions = [qdb.execute(t).committed for t in workload.transactions]
     admit_elapsed = time.perf_counter() - start
     qdb.ground_all()
     total_elapsed = time.perf_counter() - start
@@ -103,7 +127,7 @@ def _emit_json(
     produced by different specs: CI regenerates the file with ``make smoke``,
     so the committed baseline must be a smoke run too.
     """
-    baseline = results[(1, "unsharded")]
+    baseline = results[(1, "unsharded", False)]
     sharded = [r for key, r in results.items() if key[0] > 1]
     # Label "smoke" only when _spec actually shrank to the smoke workload:
     # REPRO_BENCH_SCALE=paper wins over -m smoke there, and the label must
@@ -125,7 +149,12 @@ def _emit_json(
             1,
         ),
         "throughput_scaling_1_to_4": round(
-            results[(4, "thread")]["admission_txn_per_s"]
+            results[(4, "thread", False)]["admission_txn_per_s"]
+            / max(1e-9, baseline["admission_txn_per_s"]),
+            2,
+        ),
+        "lane_throughput_scaling_1_to_4": round(
+            results[(4, "thread", True)]["admission_txn_per_s"]
             / max(1e-9, baseline["admission_txn_per_s"]),
             2,
         ),
@@ -139,28 +168,33 @@ def test_sharded_admission(benchmark, smoke_run):
     runs: dict[tuple, tuple] = {}
 
     def sweep():
-        for shards, backend in SWEEP:
-            runs[(shards, backend)] = _run(spec, shards=shards, backend=backend)
+        for shards, backend, lanes in SWEEP:
+            runs[(shards, backend, lanes)] = _run(
+                spec, shards=shards, backend=backend, lanes=lanes
+            )
 
     benchmark.pedantic(sweep, rounds=1, iterations=1)
 
     decisions = {point: run[0] for point, run in runs.items()}
     # Identical accept/reject decisions on the same stream at every shard
-    # count and on both backends: routing is a pure fast path and the
-    # process backend plans over an order-preserving snapshot.
-    baseline_decisions = decisions[(1, "unsharded")]
+    # count, on both backends, and through the lane-parallel pipeline:
+    # routing is a pure fast path, the process backend plans over an
+    # order-preserving snapshot, and the admission lanes preserve the
+    # serialized writer's decisions per arrival sequence.
+    baseline_decisions = decisions[(1, "unsharded", False)]
     for point in SWEEP[1:]:
         assert decisions[point] == baseline_decisions, point
 
     results: dict[tuple, dict] = {}
     rows = []
     for point in SWEEP:
-        shards, backend = point
+        shards, backend, lanes = point
         dec, stats, admit_s, total_s = runs[point]
         throughput = len(dec) / admit_s if admit_s else 0.0
         results[point] = {
             "shards": shards,
             "backend": backend,
+            "lanes": lanes,
             "transactions": len(dec),
             "admitted": stats["state.admitted"],
             "rejected": stats["state.rejected"],
@@ -170,6 +204,8 @@ def test_sharded_admission(benchmark, smoke_run):
             "merges": stats["partitions.merges"],
             "plan_payload_bytes": stats.get("sharding.plan_payload_bytes", 0),
             "worker_round_trips": stats.get("sharding.worker_round_trips", 0),
+            "lane_dispatches": stats.get("admission.lane_dispatches", 0),
+            "barrier_arrivals": stats.get("admission.barrier_arrivals", 0),
             "admission_s": round(admit_s, 4),
             "total_s": round(total_s, 4),
             "admission_txn_per_s": round(throughput, 1),
@@ -177,7 +213,7 @@ def test_sharded_admission(benchmark, smoke_run):
         rows.append(
             [
                 shards,
-                backend,
+                backend + ("+lanes" if lanes else ""),
                 len(dec),
                 stats["partitions.unification_checks"],
                 stats.get("partitions.index_filtered", 0),
@@ -206,7 +242,7 @@ def test_sharded_admission(benchmark, smoke_run):
 
     # The headline criteria: at least 5x fewer pairwise unification calls
     # with routing on, and admission throughput that scales 1 -> 4 shards.
-    baseline_checks = results[(1, "unsharded")]["unification_checks"]
+    baseline_checks = results[(1, "unsharded", False)]["unification_checks"]
     for point in SWEEP[1:]:
         assert results[point]["unification_checks"] * 5 <= baseline_checks, (
             point,
@@ -216,10 +252,19 @@ def test_sharded_admission(benchmark, smoke_run):
     # Wall-clock comparison, so keep it noise-tolerant: the measured gap is
     # ~2x, and the best sharded run (not a single fixed point) must beat
     # the unsharded baseline.
+    baseline_throughput = results[(1, "unsharded", False)]["admission_txn_per_s"]
     best_sharded = max(
         results[point]["admission_txn_per_s"] for point in SWEEP[1:]
     )
-    assert best_sharded > results[(1, "unsharded")]["admission_txn_per_s"], (
+    assert best_sharded > baseline_throughput, (
         best_sharded,
-        results[(1, "unsharded")],
+        results[(1, "unsharded", False)],
+    )
+    # PR 5 acceptance: lane-parallel admission at 4 shards beats the
+    # serialized writer by >= 1.5x on this low-cross-shard workload
+    # (measured ~2.4x; the margin absorbs scheduler noise).
+    lane_throughput = results[(4, "thread", True)]["admission_txn_per_s"]
+    assert lane_throughput >= 1.5 * baseline_throughput, (
+        lane_throughput,
+        baseline_throughput,
     )

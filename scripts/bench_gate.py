@@ -12,7 +12,9 @@ path regressed:
 * **throughput regression** — a sweep point's *normalized* admission
   throughput (its ``admission_txn_per_s`` relative to the same run's
   unsharded baseline point) dropped by more than the tolerance, default
-  30%.  Normalizing within the run is what makes the gate meaningful on
+  30%.  Lane-parallel sweep points (``lanes: true`` — the router-first
+  concurrent admission pipeline) gate exactly like the serialized ones,
+  so CI catches concurrency regressions in the lane scheduler too.  Normalizing within the run is what makes the gate meaningful on
   CI runners whose absolute speed differs arbitrarily from the machine
   that produced the committed numbers; pass ``--absolute`` to compare raw
   txn/s instead when both files come from the same machine.
@@ -65,26 +67,32 @@ def load_baseline(explicit: str | None) -> dict | None:
     return json.loads(shown.stdout)
 
 
-def point_key(result: dict) -> tuple[int, str]:
-    """Identity of one sweep point: ``(shards, backend)``.
+def point_key(result: dict) -> tuple[int, str, bool]:
+    """Identity of one sweep point: ``(shards, backend, lanes)``.
 
     Baselines written before the backend dimension existed default to the
-    backend their shard count implied.
+    backend their shard count implied; baselines written before the
+    lane-parallel admission pipeline default to ``lanes=False`` — so lane
+    rows gate independently of their serialized siblings.
     """
     shards = int(result["shards"])
     default = "unsharded" if shards == 1 else "thread"
-    return shards, str(result.get("backend", default))
+    return (
+        shards,
+        str(result.get("backend", default)),
+        bool(result.get("lanes", False)),
+    )
 
 
-def indexed(payload: dict) -> dict[tuple[int, str], dict]:
+def indexed(payload: dict) -> dict[tuple[int, str, bool], dict]:
     return {point_key(result): result for result in payload.get("results", [])}
 
 
 def normalized_throughput(
-    points: dict[tuple[int, str], dict], key: tuple[int, str]
+    points: dict[tuple[int, str, bool], dict], key: tuple[int, str, bool]
 ) -> float | None:
     """A point's admission throughput relative to its run's baseline point."""
-    baseline = points.get((1, "unsharded"))
+    baseline = points.get((1, "unsharded", False))
     if baseline is None or key not in points:
         return None
     denominator = float(baseline["admission_txn_per_s"])

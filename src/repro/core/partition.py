@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 from repro.core.composition import IncrementalComposition, compose_sequence
+from repro.errors import QuantumStateError
 from repro.logic.atoms import Atom
 from repro.logic.formula import Formula
 from repro.logic.substitution import Substitution
@@ -61,6 +62,13 @@ class Partition:
         self.on_structural_change: (
             Callable[["Partition", "PendingTransaction | None"], None] | None
         ) = None
+        #: Shard currently owning this partition (``None`` when unsharded or
+        #: unowned).  Maintained by :meth:`repro.sharding.shard.Shard.own` /
+        #: ``disown``; the lane-parallel admission pipeline asserts against
+        #: it (:meth:`assert_owned_by`) so a routing bug that would let two
+        #: lane writers mutate the same partition fails loudly instead of
+        #: corrupting the pending sequence.
+        self.owner_shard_id: int | None = None
 
     @property
     def pending(self) -> tuple["PendingTransaction", ...]:
@@ -192,6 +200,26 @@ class Partition:
         if self.on_structural_change is not None:
             self.on_structural_change(self, None)
 
+    def assert_owned_by(self, shard_id: int) -> None:
+        """Assert this partition may be mutated by ``shard_id``'s writer.
+
+        The per-shard admission lanes call this before touching a
+        partition: single-shard routing plus the epoch-barrier discipline
+        must guarantee that every partition a lane mutates is owned by that
+        lane's shard.  A violation is an internal invariant breach (it
+        would mean two lane writers could race on one pending sequence),
+        so it raises rather than returning a flag.
+
+        Raises:
+            QuantumStateError: the partition is owned by a different shard.
+        """
+        if self.owner_shard_id is not None and self.owner_shard_id != shard_id:
+            raise QuantumStateError(
+                f"partition #{self.partition_id} is owned by shard "
+                f"#{self.owner_shard_id} but was routed to shard #{shard_id}; "
+                "the per-shard writer invariant is broken"
+            )
+
     def invalidate_solution(self) -> None:
         """Drop the cached solution (after a write invalidated it)."""
         self.cached_solution = None
@@ -245,6 +273,13 @@ class PartitionManager:
     def __init__(self) -> None:
         self.partitions: list[Partition] = []
         self.statistics = PartitionStatistics()
+        #: Observer invoked with the ids of partitions absorbed by a merge,
+        #: right when they leave the manager.  The quantum state uses it to
+        #: drop exactly the dead partitions' cached witnesses — a precise,
+        #: merge-local cleanup that (unlike a full live-set sweep) stays
+        #: correct while per-shard admission lanes create partitions
+        #: concurrently.
+        self.on_partitions_absorbed: Callable[[Sequence[int]], None] | None = None
 
     # -- introspection -------------------------------------------------------
 
@@ -310,6 +345,8 @@ class PartitionManager:
         for other in absorbed:
             self.partitions.remove(other)
         self._on_partitions_merging(merged, absorbed)
+        if self.on_partitions_absorbed is not None:
+            self.on_partitions_absorbed([p.partition_id for p in absorbed])
         merged.pending = entries
         merged.invalidate_solution()
         self.statistics.merges += 1

@@ -36,11 +36,13 @@ the admission flow, the witness-cache fast path and the session model.
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import Executor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.sharding.admission_lane import AdmissionController
     from repro.sharding.backend import ShardBackend
 
 from repro.core.entanglement import EntanglementRegistry
@@ -98,6 +100,24 @@ class QuantumConfig:
             payloads and runs the read-only grounding searches truly in
             parallel (no GIL).  Decisions are bit-identical either way;
             the ``sharding.*`` counters report the payload traffic.
+        admission_lanes: enable the router-first concurrent admission
+            pipeline (:mod:`repro.sharding.admission_lane`): batched
+            admissions are classified at enqueue time and single-shard
+            arrivals run on per-shard admission lanes — one writer per
+            shard instead of one global writer — while cross-shard
+            arrivals act as epoch barriers that drain every lane and run
+            serialized.  Decisions, partition contents and grounding
+            valuations are bit-identical to the serialized writer for
+            every arrival sequence (the linearization harness in
+            ``tests/sharding`` proves it over seeded streams); only the
+            scheduling changes.  Requires ``shards >= 2`` to have any
+            effect; the ``admission.*`` counters report lane traffic.
+        lane_queue_depth: bound of each admission lane's queue; dispatches
+            beyond it wait (backpressure) up to the dispatch timeout.
+        lane_dispatch_timeout_s: how long a dispatch may wait on a full
+            lane queue before the typed
+            :class:`~repro.errors.AdmissionLaneSaturated` fires (the
+            controller then escalates the arrival to an epoch barrier).
         planner: join-planner settings for the underlying store.
     """
 
@@ -110,6 +130,9 @@ class QuantumConfig:
     shards: int = 1
     shard_workers: int = 1
     shard_backend: "ShardBackend | str" = "thread"
+    admission_lanes: bool = False
+    lane_queue_depth: int = 256
+    lane_dispatch_timeout_s: float = 5.0
     planner: PlannerConfig = field(default_factory=PlannerConfig)
 
     def __post_init__(self) -> None:
@@ -117,6 +140,12 @@ class QuantumConfig:
             raise QuantumError("QuantumConfig.shards must be at least 1")
         if self.shard_workers < 1:
             raise QuantumError("QuantumConfig.shard_workers must be at least 1")
+        if self.lane_queue_depth < 1:
+            raise QuantumError("QuantumConfig.lane_queue_depth must be at least 1")
+        if self.lane_dispatch_timeout_s <= 0:
+            raise QuantumError(
+                "QuantumConfig.lane_dispatch_timeout_s must be positive"
+            )
         from repro.sharding.backend import ShardBackend
 
         # Validate eagerly (a typo should fail at configuration time, not
@@ -203,6 +232,10 @@ class QuantumDatabase:
             witness_cache=self.config.witness_cache,
             partitions=self.config.partition_manager(),
         )
+        # The lane-parallel admission controller (lazily created; only with
+        # admission_lanes=True on a sharded database).
+        self._admission: "AdmissionController | None" = None
+        self._admission_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Schema and extensional passthrough
@@ -318,6 +351,15 @@ class QuantumDatabase:
           single store transaction (one WAL commit record for the whole
           batch).
 
+        With ``QuantumConfig(admission_lanes=True)`` on a sharded database
+        the batch runs through the router-first concurrent admission
+        pipeline instead of the serialized loop: arrivals are classified at
+        enqueue time, single-shard ones run on per-shard admission lanes,
+        cross-shard ones act as epoch barriers — with decisions, partition
+        contents and grounding valuations bit-identical to the serialized
+        loop for the same arrival order.  The durability write below stays
+        a single group commit either way.
+
         Returns:
             One :class:`CommitResult` per submitted transaction, in order.
         """
@@ -327,35 +369,24 @@ class QuantumDatabase:
         ]
         results: list[CommitResult] = []
         admitted: list[tuple[ResourceTransaction, int]] = []
-        for transaction in parsed:
-            try:
-                entry = self.state.admit(transaction)
-            except TransactionRejected as exc:
-                results.append(
-                    CommitResult(
-                        transaction=transaction,
-                        committed=False,
-                        rejection_reason=str(exc),
-                    )
+        controller = self.admission_controller() if len(parsed) > 1 else None
+        if controller is not None:
+            lane_results, sequences = controller.commit_many(parsed)
+            results = lane_results
+            admitted = [
+                (transaction, sequence)
+                for transaction, sequence, result in zip(
+                    parsed, sequences, results
                 )
-                continue
-            admitted.append((transaction, entry.sequence))
-            grounded: list[GroundedTransaction] = []
-            if not self.state.is_pending(transaction.transaction_id):
-                record = self.state.grounded_results.get(transaction.transaction_id)
-                if record is not None:
-                    grounded.append(record)
-            match = self.entanglement.register(transaction)
-            if match is not None and self.config.ground_on_partner_arrival:
-                grounded.extend(self.state.ground(match.transaction_ids()))
-            results.append(
-                CommitResult(
-                    transaction=transaction,
-                    committed=True,
-                    pending=self.state.is_pending(transaction.transaction_id),
-                    grounded=tuple(grounded),
-                )
-            )
+                if result.committed
+            ]
+        else:
+            for transaction in parsed:
+                result, sequence = self._admit_for_batch(transaction)
+                results.append(result)
+                if result.committed:
+                    assert sequence is not None
+                    admitted.append((transaction, sequence))
         self.pending_store.persist_many(
             (transaction, sequence)
             for transaction, sequence in admitted
@@ -364,6 +395,74 @@ class QuantumDatabase:
         self.state.statistics.batches += 1
         self.state.statistics.batch_transactions += len(parsed)
         return results
+
+    def _admit_for_batch(
+        self,
+        transaction: ResourceTransaction,
+        *,
+        sequence: int | None = None,
+        renamed: ResourceTransaction | None = None,
+    ) -> tuple[CommitResult, int | None]:
+        """Admit one batch element (shared by the serial loop, the admission
+        lanes, and the epoch barriers).
+
+        Returns ``(result, sequence)`` — the sequence is ``None`` for a
+        rejected transaction.  Durability is *not* handled here: the caller
+        persists every still-pending admission in one group write at the
+        end of its batch.
+        """
+        try:
+            entry = self.state.admit(transaction, sequence=sequence, renamed=renamed)
+        except TransactionRejected as exc:
+            return (
+                CommitResult(
+                    transaction=transaction,
+                    committed=False,
+                    rejection_reason=str(exc),
+                ),
+                None,
+            )
+        grounded: list[GroundedTransaction] = []
+        if not self.state.is_pending(transaction.transaction_id):
+            record = self.state.grounded_results.get(transaction.transaction_id)
+            if record is not None:
+                grounded.append(record)
+        match = self.entanglement.register(transaction)
+        if match is not None and self.config.ground_on_partner_arrival:
+            grounded.extend(self.state.ground(match.transaction_ids()))
+        return (
+            CommitResult(
+                transaction=transaction,
+                committed=True,
+                pending=self.state.is_pending(transaction.transaction_id),
+                grounded=tuple(grounded),
+            ),
+            entry.sequence,
+        )
+
+    def admission_controller(self) -> "AdmissionController | None":
+        """The lane-parallel admission controller (created on first use).
+
+        ``None`` unless ``QuantumConfig(admission_lanes=True)`` *and* the
+        database is sharded.  A controller closed by :meth:`close` is
+        replaced lazily, mirroring the shard executors' restart-on-use
+        behaviour.
+        """
+        if not (self.config.admission_lanes and self.sharded):
+            return None
+        with self._admission_lock:
+            controller = self._admission
+            if controller is None or controller.closed:
+                from repro.sharding.admission_lane import AdmissionController
+
+                controller = AdmissionController(
+                    self,
+                    self.state.partitions,
+                    queue_depth=self.config.lane_queue_depth,
+                    dispatch_timeout_s=self.config.lane_dispatch_timeout_s,
+                )
+                self._admission = controller
+            return controller
 
     # ------------------------------------------------------------------
     # Reads
@@ -501,13 +600,21 @@ class QuantumDatabase:
         return self.config.shards > 1
 
     def close(self) -> None:
-        """Release executor resources (the shard workers), if any.
+        """Release executor resources (lanes and shard workers), if any.
 
-        Idempotent and optional — the shard executors are created lazily
-        and a database that never fanned grounding plans out holds no
+        Idempotent and optional — the admission lanes and shard executors
+        are created lazily and a database that never used them holds no
         threads — but benchmarks and servers that cycle through many
-        databases should call it.
+        databases should call it.  Closing lanes first lets them finish
+        anything still queued (no admission is abandoned half-way), then
+        the shard executors are joined.
         """
+        with self._admission_lock:
+            controller = self._admission
+        if controller is not None:
+            # Kept (closed) for statistics reporting; admission_controller()
+            # replaces a closed controller lazily on the next batch.
+            controller.close()
         close = getattr(self.state.partitions, "close", None)
         if close is not None:
             close()
@@ -519,8 +626,19 @@ class QuantumDatabase:
 
     @property
     def cache_statistics(self):
-        """The solution cache's counters (witness hits, fallbacks, ...)."""
-        return self.state.cache.statistics
+        """The solution cache's counters (witness hits, fallbacks, ...).
+
+        On the serial paths this is the live shared counter object (tests
+        hold it across operations and watch it move).  Once admission
+        lanes have recorded into per-lane slices, the live object alone
+        would undercount nearly all witness traffic, so a reconciled
+        snapshot (shared + every lane slice) is returned instead —
+        matching ``statistics_report()``'s ``cache.*`` section.
+        """
+        cache = self.state.cache
+        if cache.has_lane_statistics():
+            return cache.merged_statistics()
+        return cache.statistics
 
     def statistics_report(self) -> dict[str, Any]:
         """Every counter the system maintains, flattened for benchmarks.
@@ -531,9 +649,12 @@ class QuantumDatabase:
         witness cache on vs. off) without reaching into internals.
         """
         report: dict[str, Any] = {}
+        # The cache section reconciles the per-lane witness-statistics
+        # slices with the shared counters (exact under concurrent lanes).
+        cache_statistics = self.state.cache.merged_statistics()
         sections = {
             "state": self.state.statistics,
-            "cache": self.state.cache.statistics,
+            "cache": cache_statistics,
             "partitions": self.state.partitions.statistics,
             "search": self.state.cache.search.totals,
         }
@@ -541,7 +662,7 @@ class QuantumDatabase:
             for name, value in vars(stats).items():
                 report[f"{section}.{name}"] = value
         report["cache.composed_body_passes"] = (
-            self.state.cache.statistics.composed_body_passes()
+            cache_statistics.composed_body_passes()
         )
         report["search.searches"] = self.state.cache.search.searches
         index = getattr(self.state.partitions, "index", None)
@@ -555,6 +676,17 @@ class QuantumDatabase:
             report["sharding.backend"] = backend.value
             report["sharding.plan_payload_bytes"] = stats.plan_payload_bytes
             report["sharding.worker_round_trips"] = stats.worker_round_trips
+        if self.config.admission_lanes and self.sharded:
+            from repro.sharding.admission_lane import AdmissionStatistics
+
+            controller = self._admission
+            admission = (
+                controller.statistics
+                if controller is not None
+                else AdmissionStatistics(lanes=self.config.shards)
+            )
+            for name, value in vars(admission).items():
+                report[f"admission.{name}"] = value
         return report
 
     def coordination_report(self) -> dict[str, float]:

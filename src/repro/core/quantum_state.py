@@ -31,6 +31,7 @@ See ``docs/architecture.md`` ("Concurrent grounding") for the full argument.
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import Executor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
@@ -40,7 +41,7 @@ from repro.core.composition import (
     rewrite_atom_against_updates,
     rewrite_body_against_updates,
 )
-from repro.core.futures import collect_plan_futures
+from repro.core.futures import ReadWriteGuard, collect_plan_futures
 from repro.core.grounding_policy import GroundingPolicy
 from repro.core.partition import Partition, PartitionManager
 from repro.core.resource_transaction import ResourceTransaction
@@ -412,6 +413,22 @@ class QuantumState:
         #: database uses it to delete rows from the pending-transactions
         #: table and to notify the application if desired).
         self.on_grounded = on_grounded
+        #: Readers-writer guard over the extensional store: per-lane
+        #: witness-extension searches hold the shared side, store mutations
+        #: (grounding applies, blind-write validation) the exclusive side.
+        #: Uncontended on the serial paths; what makes the lane-parallel
+        #: admission pipeline memory-safe (see ``repro.sharding.admission_lane``).
+        self.store_guard = ReadWriteGuard()
+        #: Serializes arrival-sequence allocation (the admission controller
+        #: allocates sequences up front, in arrival order, before handing
+        #: work to concurrent lanes).
+        self._sequence_lock = threading.Lock()
+        #: Guards the state counters against lost updates when several
+        #: admission lanes increment them concurrently.
+        self._statistics_lock = threading.Lock()
+        # Merges drop exactly the absorbed partitions' witnesses (precise,
+        # merge-local — safe while lanes create partitions concurrently).
+        self.partitions.on_partitions_absorbed = self._drop_absorbed_witnesses
 
     # ------------------------------------------------------------------
     # Introspection
@@ -441,7 +458,11 @@ class QuantumState:
     # ------------------------------------------------------------------
 
     def admit(
-        self, transaction: ResourceTransaction, *, sequence: int | None = None
+        self,
+        transaction: ResourceTransaction,
+        *,
+        sequence: int | None = None,
+        renamed: ResourceTransaction | None = None,
     ) -> PendingTransaction:
         """Admit a resource transaction, keeping the possible worlds non-empty.
 
@@ -459,6 +480,9 @@ class QuantumState:
                 Normally omitted (the state assigns the next number); the
                 recovery path passes the persisted sequence so the rebuilt
                 state resumes numbering where the crashed instance stopped.
+            renamed: the ``@<id>``-renamed copy of the transaction when the
+                caller already computed one (the admission dispatcher
+                renames for routing); omitted, the rename happens here.
 
         Returns:
             The pending entry for the admitted transaction.
@@ -468,29 +492,40 @@ class QuantumState:
                 the set of possible worlds.
         """
         if sequence is None:
-            sequence = self._next_sequence
-        self._next_sequence = max(self._next_sequence, sequence + 1)
+            sequence = self.allocate_sequence()
+        else:
+            with self._sequence_lock:
+                self._next_sequence = max(self._next_sequence, sequence + 1)
         entry = PendingTransaction(
             original=transaction,
-            renamed=transaction.rename_variables(f"@{transaction.transaction_id}"),
+            renamed=(
+                renamed
+                if renamed is not None
+                else transaction.rename_variables(f"@{transaction.transaction_id}")
+            ),
             sequence=sequence,
         )
         atoms = tuple(entry.renamed.body) + tuple(entry.renamed.updates)
         partition, merged = self.partitions.merged_for(atoms)
         if merged:
             # The merged pending sequence is new; no stored witness covers
-            # it, and the merged-away partitions' witnesses must not linger.
+            # it (the absorbed partitions' witnesses were already dropped by
+            # the on_partitions_absorbed hook, inside the merge).
             self.cache.drop_witness(partition.partition_id)
-            self.cache.retain(p.partition_id for p in self.partitions)
         new_factor = partition.composition().preview_factor(entry.renamed)
         # Fetch the (structurally current) witness before the append changes
         # the partition's signature; it seeds the successor witness below.
         base_witness = self.cache.witness_for(partition)
-        solution = self.cache.ensure(
-            partition, new_factor, entry.renamed.hard_variables()
-        )
+        # The witness-extension search reads the extensional store; hold the
+        # shared side of the store guard so a concurrent lane's grounding
+        # apply cannot mutate tables mid-search.
+        with self.store_guard.read():
+            solution = self.cache.ensure(
+                partition, new_factor, entry.renamed.hard_variables()
+            )
         if solution is None:
-            self.statistics.rejected += 1
+            with self._statistics_lock:
+                self.statistics.rejected += 1
             self.partitions.drop_if_empty(partition)
             if not partition.pending:
                 self.cache.drop_witness(partition.partition_id)
@@ -512,18 +547,39 @@ class QuantumState:
             self.cache.store_witness(
                 partition, partition.composed_formula(), solution
             )
-        self.statistics.admitted += 1
-        if self.pending_count() > self.statistics.max_pending:
-            self.statistics.max_pending = self.pending_count()
+        with self._statistics_lock:
+            self.statistics.admitted += 1
+            pending = self.pending_count()
+            if pending > self.statistics.max_pending:
+                self.statistics.max_pending = pending
         self._enforce_bound(partition)
         return entry
+
+    def allocate_sequence(self) -> int:
+        """Reserve and return the next arrival sequence number.
+
+        The lane-parallel admission controller allocates sequences in
+        arrival order *before* dispatching work to concurrent lanes, so the
+        serialization-order key is identical to the serial writer's no
+        matter how the lanes interleave.
+        """
+        with self._sequence_lock:
+            sequence = self._next_sequence
+            self._next_sequence = sequence + 1
+            return sequence
+
+    def _drop_absorbed_witnesses(self, partition_ids: Sequence[int]) -> None:
+        """Forget the witnesses of partitions a merge just absorbed."""
+        for partition_id in partition_ids:
+            self.cache.drop_witness(partition_id)
 
     def _enforce_bound(self, partition: Partition) -> None:
         """Force-ground transactions until the ``k`` bound is respected."""
         victims = self.policy.victims(partition, cache=self.cache)
         if not victims:
             return
-        self.statistics.forced_groundings += len(victims)
+        with self._statistics_lock:
+            self.statistics.forced_groundings += len(victims)
         self.ground(
             [v.transaction_id for v in victims],
             forced=True,
@@ -716,9 +772,10 @@ class QuantumState:
             QuantumStateError: if no grounding exists, i.e. the quantum
                 database invariant was somehow violated.
         """
-        plan, substitution, satisfied_atoms = compute_grounding_plan(
-            self.cache.search, self.serializability, partition, targets
-        )
+        with self.store_guard.read():
+            plan, substitution, satisfied_atoms = compute_grounding_plan(
+                self.cache.search, self.serializability, partition, targets
+            )
         if substitution is None:
             raise QuantumStateError(
                 "quantum database invariant violated: no grounding exists for "
@@ -736,10 +793,11 @@ class QuantumState:
         self, planned: "PlannedGrounding"
     ) -> list[GroundedTransaction]:
         """The mutating half of grounding: execute a plan's update portions."""
-        # Counted here, not in the (possibly concurrent) plan phase, so the
-        # statistics counters are only ever touched serially.
+        # Counted here, not in the (possibly concurrent) plan phase; the
+        # lock keeps the counter exact when lane writers apply concurrently.
         if planned.plan.reordered:
-            self.statistics.semantic_reorders += 1
+            with self._statistics_lock:
+                self.statistics.semantic_reorders += 1
         return self._execute_grounding(
             planned.partition,
             planned.plan,
@@ -768,7 +826,29 @@ class QuantumState:
         *,
         forced: bool,
     ) -> list[GroundedTransaction]:
-        """Apply the update portions of the grounded prefix to the database."""
+        """Apply the update portions of the grounded prefix to the database.
+
+        Runs under the exclusive side of the store guard: a lane-triggered
+        forced grounding mutates the shared extensional store, and every
+        concurrent witness-extension search (shared side) must be excluded
+        while the tables change shape.  Partition independence already makes
+        the *row sets* disjoint; the guard protects the Python-level table
+        structures.
+        """
+        with self.store_guard.write():
+            return self._execute_grounding_locked(
+                partition, plan, substitution, satisfied_atoms, forced=forced
+            )
+
+    def _execute_grounding_locked(
+        self,
+        partition: Partition,
+        plan: GroundingPlan,
+        substitution: Substitution,
+        satisfied_atoms: dict[int, int],
+        *,
+        forced: bool,
+    ) -> list[GroundedTransaction]:
         grounded_statements: list[tuple[PendingTransaction, list[Statement]]] = []
         deltas: list[tuple[str, tuple, bool]] = []
         with self.database.begin() as txn:
@@ -888,6 +968,16 @@ class QuantumState:
         Raises:
             WriteRejected: if the write would empty the set of possible
                 worlds.
+        """
+        with self.store_guard.write():
+            self._validate_write_locked(statements)
+
+    def _validate_write_locked(self, statements: Sequence[Statement]) -> None:
+        """The write check proper, under the exclusive store guard.
+
+        Blind writes interleave store mutation with re-validation searches,
+        so the whole check holds the write side (the guard lets the holder
+        read its own exclusive state; see :class:`ReadWriteGuard`).
         """
         self.statistics.writes_checked += 1
         write_atoms = [_statement_atom(s) for s in statements]

@@ -35,8 +35,10 @@ cache for every composed transaction").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Iterable, Sequence
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, fields
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.core.partition import Partition
 from repro.errors import FormulaError
@@ -161,11 +163,81 @@ class SolutionCache:
         self.statistics = SolutionCacheStatistics()
         self.enable_witness = enable_witness
         self._witnesses: dict[int, Witness] = {}
-        #: True when the substitution returned by the last :meth:`ensure`
-        #: call came from extending a known-valid witness (the fast path);
-        #: admission uses this to decide between an incremental and a full
-        #: footprint when storing the successor witness.
-        self.last_used_witness: bool = False
+        #: Per-lane statistics slices (lane id → counters).  While a thread
+        #: runs inside :meth:`lane_scope` every counter lands in its lane's
+        #: slice instead of the shared object, so concurrent admission lanes
+        #: never lose increments to read-modify-write races;
+        #: :meth:`merged_statistics` reconciles the slices for reporting.
+        self._lane_statistics: dict[int, SolutionCacheStatistics] = {}
+        #: Guards lane-slice creation against a concurrent merge snapshot
+        #: (a report must never iterate the dict mid-resize).
+        self._lane_statistics_lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- per-lane accounting -------------------------------------------------
+
+    @property
+    def _stats(self) -> SolutionCacheStatistics:
+        """The active statistics target: the lane slice, or the shared one."""
+        return getattr(self._local, "stats", None) or self.statistics
+
+    @property
+    def last_used_witness(self) -> bool:
+        """True when the last :meth:`ensure` on *this thread* extended a
+        known-valid witness (the fast path).
+
+        Thread-local on purpose: admission reads the flag right after
+        ``ensure`` to decide between an incremental and a full footprint for
+        the successor witness, and with per-shard admission lanes two
+        concurrent admissions must never observe each other's flag (a
+        cross-read would store a witness with the wrong footprint — a
+        correctness bug, not a statistics blemish).
+        """
+        return getattr(self._local, "last_used_witness", False)
+
+    @last_used_witness.setter
+    def last_used_witness(self, value: bool) -> None:
+        self._local.last_used_witness = value
+
+    def lane_statistics(self, lane_id: int) -> SolutionCacheStatistics:
+        """The (lazily created) statistics slice of one admission lane."""
+        with self._lane_statistics_lock:
+            slice_ = self._lane_statistics.get(lane_id)
+            if slice_ is None:
+                slice_ = self._lane_statistics[lane_id] = SolutionCacheStatistics()
+            return slice_
+
+    def has_lane_statistics(self) -> bool:
+        """True once any admission lane recorded into a per-lane slice."""
+        with self._lane_statistics_lock:
+            return bool(self._lane_statistics)
+
+    @contextmanager
+    def lane_scope(self, lane_id: int) -> Iterator[SolutionCacheStatistics]:
+        """Route this thread's cache counters into a lane's slice."""
+        previous = getattr(self._local, "stats", None)
+        slice_ = self.lane_statistics(lane_id)
+        self._local.stats = slice_
+        try:
+            yield slice_
+        finally:
+            self._local.stats = previous
+
+    def merged_statistics(self) -> SolutionCacheStatistics:
+        """The shared counters plus every lane slice, reconciled.
+
+        This is what reports should read: with admission lanes active the
+        witness hits/misses of concurrent admissions accumulate in per-lane
+        slices (exact, no lost updates) and only the sum describes the
+        whole cache.
+        """
+        merged = SolutionCacheStatistics()
+        with self._lane_statistics_lock:
+            sources = [self.statistics, *self._lane_statistics.values()]
+        for field in fields(SolutionCacheStatistics):
+            total = sum(getattr(source, field.name) for source in sources)
+            setattr(merged, field.name, total)
+        return merged
 
     # -- witness store -------------------------------------------------------
 
@@ -267,7 +339,7 @@ class SolutionCache:
         for partition_id, witness in list(self._witnesses.items()):
             if witness.touched_by(deltas):
                 del self._witnesses[partition_id]
-                self.statistics.witness_invalidations += 1
+                self._stats.witness_invalidations += 1
 
     # -- verification --------------------------------------------------------
 
@@ -279,7 +351,7 @@ class SolutionCache:
         """
         if solution is None:
             return False
-        self.statistics.verifications += 1
+        self._stats.verifications += 1
         required = formula.free_variables()
         if not required <= solution.domain():
             return False
@@ -313,19 +385,19 @@ class SolutionCache:
         initial = base or Substitution.empty()
         result = self.search.find_one(new_factor, required=required, initial=initial)
         if result.satisfiable:
-            self.statistics.extension_hits += 1
+            self._stats.extension_hits += 1
         else:
-            self.statistics.extension_misses += 1
+            self._stats.extension_misses += 1
         return result
 
     def solve(
         self, formula: Formula, required: Iterable[Variable] | None = None
     ) -> GroundingResult:
         """Full grounding search over the composed body (cache miss path)."""
-        self.statistics.full_solves += 1
+        self._stats.full_solves += 1
         result = self.search.find_one(formula, required=required)
         if not result.satisfiable:
-            self.statistics.failures += 1
+            self._stats.failures += 1
         return result
 
     # -- admission flow --------------------------------------------------------
@@ -362,12 +434,12 @@ class SolutionCache:
 
         if new_factor is None or new_factor is TRUE:
             if witness is not None:
-                self.statistics.witness_hits += 1
+                self._stats.witness_hits += 1
                 self.last_used_witness = True
                 return witness.substitution
             if self.enable_witness:
-                self.statistics.witness_misses += 1
-                self.statistics.fallback_searches += 1
+                self._stats.witness_misses += 1
+                self._stats.fallback_searches += 1
             base_formula = partition.composed_formula()
             if self.verify(base_formula, partition.cached_solution):
                 self.store_witness(partition, base_formula, partition.cached_solution)
@@ -384,12 +456,12 @@ class SolutionCache:
             if extended.satisfiable:
                 # Only a *successful* extension counts as a hit: the
                 # composed body was never re-walked.
-                self.statistics.witness_hits += 1
+                self._stats.witness_hits += 1
                 self.last_used_witness = True
                 return extended.substitution
         if self.enable_witness:
-            self.statistics.witness_misses += 1
-            self.statistics.fallback_searches += 1
+            self._stats.witness_misses += 1
+            self._stats.fallback_searches += 1
         if witness is None and partition.cached_solution is not None:
             if self.verify(partition.composed_formula(), partition.cached_solution):
                 extended = self.extend(

@@ -274,6 +274,10 @@ class QuantumServer:
         self._session_ids = 0
         self._closed = False
         self._started = False
+        #: The server's event loop (set by start()); grounding notifications
+        #: fired from admission-lane threads are marshalled onto it, since
+        #: asyncio futures must only be resolved from their loop's thread.
+        self._loop: asyncio.AbstractEventLoop | None = None
         self._grounding_waiters: list[tuple[GroundingTarget, asyncio.Future]] = []
         self._sink: FileWalSink | None = None
         # Periodic-checkpoint bookkeeping (see CheckpointPolicy): WAL length
@@ -327,7 +331,8 @@ class QuantumServer:
                 self.config.wal_path, fsync=self.config.wal_fsync
             )
             self.qdb.database.wal.attach_sink(self._sink)
-        self._writer_task = asyncio.get_running_loop().create_task(
+        self._loop = asyncio.get_running_loop()
+        self._writer_task = self._loop.create_task(
             self._writer_loop(), name="repro-admission-writer"
         )
         self._started = True
@@ -708,10 +713,30 @@ class QuantumServer:
         return bool(target(record))
 
     def _handle_grounded(self, record: GroundedTransaction) -> None:
+        # The synchronous housekeeping (pending-table delete, entanglement
+        # withdrawal) must run on the grounding thread, inside the store
+        # guard's exclusive section.
         if self._chained_on_grounded is not None:
             self._chained_on_grounded(record)
         if not self._grounding_waiters:
             return
+        # Waiter resolution touches asyncio futures, which are not
+        # thread-safe.  With admission lanes a forced grounding (the k
+        # bound) fires this callback on a lane thread — marshal the
+        # resolution onto the server's loop instead of resolving inline.
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            try:
+                running = asyncio.get_running_loop()
+            except RuntimeError:
+                running = None
+            if running is not loop:
+                loop.call_soon_threadsafe(self._resolve_grounding_waiters, record)
+                return
+        self._resolve_grounding_waiters(record)
+
+    def _resolve_grounding_waiters(self, record: GroundedTransaction) -> None:
+        """Resolve matching grounding futures (loop thread only)."""
         remaining: list[tuple[GroundingTarget, asyncio.Future]] = []
         for target, waiter in self._grounding_waiters:
             if waiter.done():

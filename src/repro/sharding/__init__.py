@@ -20,12 +20,24 @@ partitions (see ``docs/architecture.md``, "Sharded partition execution"):
   :class:`~repro.core.partition.PartitionManager` that routes admissions
   through the index, serializes the rare cross-shard merge, and keeps the
   shared :class:`~repro.sharding.manager.PendingTable` for global
-  ``k``-bound accounting.
+  ``k``-bound accounting;
+* :mod:`repro.sharding.admission_lane` — the router-first concurrent
+  admission pipeline: per-shard :class:`AdmissionLane` writers dispatched
+  over a deterministic conflict ladder, with cross-shard arrivals as
+  epoch barriers (decisions bit-identical to the serialized writer; see
+  ``docs/architecture.md``, "Concurrent admission").
 
 Enable it with ``QuantumConfig(shards=N)``; pick the executor strategy
-with ``QuantumConfig(shard_backend="thread" | "process")``.
+with ``QuantumConfig(shard_backend="thread" | "process")``; turn on
+lane-parallel admission with ``QuantumConfig(admission_lanes=True)``.
 """
 
+from repro.sharding.admission_lane import (
+    AdmissionController,
+    AdmissionLane,
+    AdmissionStatistics,
+    ConflictRung,
+)
 from repro.sharding.backend import (
     PlanPayload,
     PlanResult,
@@ -42,6 +54,10 @@ from repro.sharding.shard import Shard
 from repro.sharding.signature import SignatureIndex, SignatureIndexStatistics
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionLane",
+    "AdmissionStatistics",
+    "ConflictRung",
     "PendingRef",
     "PendingTable",
     "PlanPayload",

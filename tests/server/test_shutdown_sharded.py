@@ -2,10 +2,18 @@
 
 ``QuantumServer.shutdown()`` on a ``shards=N`` database must (in order)
 drain the admission queue — completing any grounding whose plans are in
-flight on the shard executors — then join those executors (thread pools
-and process pools alike) and fold the WAL into a checkpoint, all without
-deadlocking.  Every test runs under ``asyncio.wait_for`` so an ordering
-bug fails loudly instead of hanging the suite.
+flight on the shard executors and any commit batch whose admissions are in
+flight on the per-shard admission lanes — then join those executors
+(thread pools, process pools and lane workers alike) and fold the WAL into
+a checkpoint, all without deadlocking.  Every test runs under
+``asyncio.wait_for`` so an ordering bug fails loudly instead of hanging
+the suite.
+
+The lane-parallel regression tests at the bottom pin that
+``SessionBackpressure`` and ``GroundingTimeout`` semantics are unchanged
+when the drain loop admits through per-shard lanes, and that a shutdown
+racing a lane-parallel drain leaves no orphaned pending entries (every
+pending transaction durable, every durable row pending).
 """
 
 from __future__ import annotations
@@ -21,15 +29,17 @@ from repro import (
     ServerConfig,
     parse_transaction,
 )
-from repro.errors import GroundingTimeout, QuantumError
+from repro.errors import GroundingTimeout, QuantumError, SessionBackpressure
 from repro.relational.wal import LogRecordType
 
 BACKENDS = ("thread", "process")
 
 
-def make_qdb(*, backend, shards=2, k=16, flights=6, seats=3):
+def make_qdb(*, backend, shards=2, k=16, flights=6, seats=3, lanes=False):
     qdb = QuantumDatabase(
-        config=QuantumConfig(k=k, shards=shards, shard_backend=backend)
+        config=QuantumConfig(
+            k=k, shards=shards, shard_backend=backend, admission_lanes=lanes
+        )
     )
     qdb.create_table("Available", ["flight", "seat"], key=["flight", "seat"])
     qdb.create_table(
@@ -104,12 +114,15 @@ def test_shutdown_idempotent_after_grounding(backend):
     asyncio.run(asyncio.wait_for(main(), timeout=60))
 
 
-def test_grounding_timeout_resolves_submitter_without_wedging_writer():
+@pytest.mark.parametrize("lanes", [False, True])
+def test_grounding_timeout_resolves_submitter_without_wedging_writer(lanes):
     """A hung plan resolves the submitter with GroundingTimeout; the writer
-    keeps serving later work and shutdown still completes."""
+    keeps serving later work and shutdown still completes.  Identical with
+    the admission lanes on: explicit grounds run at writer serialization
+    points, outside the lanes, and the timeout path is untouched."""
 
     async def main():
-        qdb = make_qdb(backend="thread")
+        qdb = make_qdb(backend="thread", lanes=lanes)
         server = await QuantumServer(
             qdb, ServerConfig(grounding_timeout_s=0.05)
         ).start()
@@ -144,5 +157,133 @@ def test_grounding_timeout_resolves_submitter_without_wedging_writer():
             )
             assert len(grounded) == 3
         await server.shutdown()
+
+    asyncio.run(asyncio.wait_for(main(), timeout=60))
+
+
+def pending_store_ids(qdb):
+    """Transaction ids persisted in the pending-transactions table."""
+    return sorted(
+        transaction.transaction_id
+        for _sequence, transaction in qdb.pending_store.restore()
+    )
+
+
+def state_pending_ids(qdb):
+    """Transaction ids still pending in the in-memory quantum state."""
+    return sorted(
+        entry.transaction_id for entry in qdb.state.pending_transactions()
+    )
+
+
+def test_backpressure_semantics_unchanged_with_lanes():
+    """SessionBackpressure fires at enqueue time, before any lane sees the
+    work — the quota accounting must be byte-for-byte the unsharded one."""
+
+    async def main():
+        qdb = make_qdb(backend="thread", lanes=True)
+        config = ServerConfig(session_quota=2)
+        async with QuantumServer(qdb, config) as server:
+            session = server.session(client="flooder")
+            futures = [
+                asyncio.ensure_future(session.commit(booking(f"b{i}", 1)))
+                for i in range(4)
+            ]
+            results = await asyncio.gather(*futures, return_exceptions=True)
+            refused = [
+                r for r in results if isinstance(r, SessionBackpressure)
+            ]
+            accepted = [r for r in results if not isinstance(r, Exception)]
+            # The quota refused the overflow before it reached the queue
+            # (and hence before any lane), exactly as without lanes.
+            assert len(refused) == 2
+            assert len(accepted) == 2
+            assert server.statistics.backpressure_rejections == 2
+            assert session.statistics.backpressure == 2
+            await session.close()
+        qdb.close()
+
+    asyncio.run(asyncio.wait_for(main(), timeout=60))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_close_while_lanes_draining_leaves_no_orphans(backend):
+    """Shutdown racing a lane-parallel drain: the in-flight commit batch
+    completes on its lanes, the single group-commit durability write runs,
+    and afterwards the pending store and the in-memory pending set agree
+    exactly — no orphaned entry on either side."""
+
+    async def main():
+        qdb = make_qdb(backend=backend, lanes=True, flights=6, seats=3)
+        server = await QuantumServer(qdb).start()
+        sessions = [server.session(client=f"c{i}") for i in range(3)]
+        futures = []
+        for i in range(18):
+            session = sessions[i % len(sessions)]
+            futures.append(
+                asyncio.create_task(
+                    session.commit(booking(f"u{i}", (i % 6) + 1))
+                )
+            )
+        # Let the writer start draining (the commit run fans out onto the
+        # admission lanes), then shut down immediately: the sentinel lands
+        # behind the batch, which must complete — lanes included — first.
+        await asyncio.sleep(0)
+        await server.shutdown()
+        results = await asyncio.gather(*futures, return_exceptions=True)
+        commits = [
+            r for r in results if not isinstance(r, BaseException)
+        ]
+        assert commits, "at least the first drained run must have committed"
+        # No orphans in either direction: everything pending in memory is
+        # durable, everything durable is still pending.
+        assert pending_store_ids(qdb) == state_pending_ids(qdb)
+        # Lane workers and shard executors were all released.
+        assert qdb._admission is None or qdb._admission.closed
+        assert not any(shard.started for shard in qdb.state.partitions.shards)
+        # The WAL was folded into a checkpoint as usual.
+        records = list(qdb.database.wal.records())
+        assert records and records[0].record_type is LogRecordType.CHECKPOINT
+        qdb.close()
+
+    asyncio.run(asyncio.wait_for(main(), timeout=60))
+
+
+def test_lane_parallel_drain_matches_serialized_decisions():
+    """The server's group-commit drain admits through the lanes; decisions
+    and session-visible results must match the lanes-off server bit for
+    bit on the same arrival order."""
+
+    async def run_server(lanes):
+        qdb = make_qdb(backend="thread", lanes=lanes, flights=5, seats=3, k=4)
+        decisions = []
+        async with QuantumServer(qdb) as server:
+            async with server.session(client="driver") as session:
+                # Submit in bursts so the writer drains real batches.
+                for burst in range(4):
+                    futures = [
+                        asyncio.ensure_future(
+                            session.commit(
+                                booking(f"s{burst}_{i}", (i % 5) + 1)
+                            )
+                        )
+                        for i in range(6)
+                    ]
+                    for result in await asyncio.gather(*futures):
+                        decisions.append(result.committed)
+        report = qdb.statistics_report()
+        qdb.close()
+        return decisions, report
+
+    async def main():
+        serial_decisions, _serial_report = await run_server(False)
+        lane_decisions, lane_report = await run_server(True)
+        assert lane_decisions == serial_decisions
+        # The lane pipeline actually ran (this is not a vacuous pass).
+        assert lane_report["admission.batches"] >= 1
+        assert (
+            lane_report["admission.lane_dispatches"]
+            + lane_report["admission.barrier_arrivals"]
+        ) > 0
 
     asyncio.run(asyncio.wait_for(main(), timeout=60))
