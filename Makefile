@@ -10,11 +10,16 @@
 #
 # Set REPRO_BENCH_SCALE=paper for the paper-sized benchmark parameters.
 # The smoke pass refreshes BENCH_admission.json (admission throughput and
-# merged_for scan counts per (shard count, backend) point), tracking the
-# admission-path perf trajectory across PRs; `make gate` fails the build if
-# it regressed against the committed baseline (BENCH_GATE_TOLERANCE
-# overrides the default 30% throughput tolerance; decision divergence
-# always fails).  CI runs exactly `make lint` + `make check`.
+# merged_for scan counts per (shard count, backend, lanes) point),
+# tracking the admission-path perf trajectory across PRs; `make gate`
+# fails the build if it regressed against the committed baseline
+# (BENCH_GATE_TOLERANCE overrides the default 30% throughput tolerance;
+# decision divergence always fails), if the baseline's workload scale or
+# parameters don't match the fresh run, or if a run lacks the unsharded
+# normalization anchor.  The gate's own exit-code semantics are pinned by
+# tests/scripts/test_bench_gate.py, which `make test` picks up with the
+# rest of tests/.  CI runs `make lint` + `make check`, then reruns the
+# gate with --require-points so a vacuous comparison fails too.
 
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest

@@ -19,7 +19,11 @@ The acceptance criteria asserted here:
 * the sharded runs spend **at least 5x fewer** pairwise unification calls
   in the overlap scans (in practice the reduction is 100x+ on this
   constant-pinned workload);
-* admission throughput measurably scales from 1 to 4 shards.
+* admission throughput measurably scales from 1 to 4 shards;
+* process-backend lane points genuinely ship their witness searches to
+  the worker pools (admission round trips and payload bytes > 0), and on
+  boxes with >= 4 cores the shipped lanes clear the same >= 1.5x
+  throughput bar as the thread lanes.
 
 Every run also appends its numbers to ``BENCH_admission.json`` at the
 repository root — throughput and scan counts per (shard count, backend)
@@ -31,6 +35,7 @@ point — so the admission-path perf trajectory is tracked across PRs by
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -55,7 +60,10 @@ BACKENDS = ("thread", "process")
 #: ``admission_lanes=True`` — the router-first concurrent admission
 #: pipeline (per-shard admission writers, epoch barriers for cross-shard
 #: arrivals) — so CI gates lane-parallel admission throughput alongside
-#: the serialized sweep.
+#: the serialized sweep.  Process-backend lane points additionally ship
+#: each witness-extension search to the owning shard's worker pool as a
+#: pickled :class:`~repro.sharding.backend.AdmissionPayload`, so the gate
+#: also tracks the shipped-admission round-trip cost.
 SWEEP = (
     ((1, "unsharded", False),)
     + tuple(
@@ -63,7 +71,11 @@ SWEEP = (
         for shards in SHARD_COUNTS[1:]
         for backend in BACKENDS
     )
-    + tuple((shards, "thread", True) for shards in SHARD_COUNTS[1:])
+    + tuple(
+        (shards, backend, True)
+        for backend in BACKENDS
+        for shards in SHARD_COUNTS[1:]
+    )
 )
 
 #: Where the perf trajectory lands (tracked in git, one file per repo).
@@ -102,6 +114,13 @@ def _run(
         admission_lanes=lanes,
     )
     qdb = QuantumDatabase(build_flight_database(spec), config)
+    if lanes:
+        # Spawn lane threads and (for the process backend) fork the worker
+        # pools before the clock starts: pool spawn cost is a one-time setup
+        # tax, not admission throughput.
+        controller = qdb.admission_controller()
+        if controller is not None:
+            controller.warm()
     start = time.perf_counter()
     if lanes:
         decisions = [
@@ -158,6 +177,11 @@ def _emit_json(
             / max(1e-9, baseline["admission_txn_per_s"]),
             2,
         ),
+        "process_lane_throughput_scaling_1_to_4": round(
+            results[(4, "process", True)]["admission_txn_per_s"]
+            / max(1e-9, baseline["admission_txn_per_s"]),
+            2,
+        ),
     }
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -204,6 +228,12 @@ def test_sharded_admission(benchmark, smoke_run):
             "merges": stats["partitions.merges"],
             "plan_payload_bytes": stats.get("sharding.plan_payload_bytes", 0),
             "worker_round_trips": stats.get("sharding.worker_round_trips", 0),
+            "admission_payload_bytes": stats.get(
+                "sharding.admission_payload_bytes", 0
+            ),
+            "admission_round_trips": stats.get(
+                "sharding.admission_round_trips", 0
+            ),
             "lane_dispatches": stats.get("admission.lane_dispatches", 0),
             "barrier_arrivals": stats.get("admission.barrier_arrivals", 0),
             "admission_s": round(admit_s, 4),
@@ -268,3 +298,31 @@ def test_sharded_admission(benchmark, smoke_run):
         lane_throughput,
         baseline_throughput,
     )
+    # PR 6 acceptance: process-backend lane points actually shipped their
+    # witness searches to the worker pools (round trips measured > 0, with
+    # real payload bytes behind them) — the point exists to price the IPC
+    # hop, so a silently-inline run must fail loudly.
+    for shards in SHARD_COUNTS[1:]:
+        shipped = results[(shards, "process", True)]
+        assert shipped["admission_round_trips"] > 0, shipped
+        assert shipped["admission_payload_bytes"] > 0, shipped
+        assert shipped["worker_round_trips"] >= shipped["admission_round_trips"]
+    # Shipped searches only pay off when there are cores to run them on.
+    # With >= 4 cores the 4-shard process lanes must clear the same >= 1.5x
+    # bar as the thread lanes; on the 1-2 core boxes CI also lands on, the
+    # per-admission IPC hop is pure overhead by construction and its
+    # wall-clock is bimodal (2x run-to-run swings are routine), so the
+    # gate instead pins a collapse floor — an order-of-magnitude slowdown
+    # (serialization storm, per-admission pool respawn) still fails, while
+    # scheduler noise does not.
+    process_lane = results[(4, "process", True)]["admission_txn_per_s"]
+    if (os.cpu_count() or 1) >= 4:
+        assert process_lane >= 1.5 * baseline_throughput, (
+            process_lane,
+            baseline_throughput,
+        )
+    else:
+        assert process_lane >= 0.1 * baseline_throughput, (
+            process_lane,
+            baseline_throughput,
+        )

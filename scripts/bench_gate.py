@@ -14,7 +14,12 @@ path regressed:
   unsharded baseline point) dropped by more than the tolerance, default
   30%.  Lane-parallel sweep points (``lanes: true`` — the router-first
   concurrent admission pipeline) gate exactly like the serialized ones,
-  so CI catches concurrency regressions in the lane scheduler too.  Normalizing within the run is what makes the gate meaningful on
+  so CI catches concurrency regressions in the lane scheduler too; the
+  shipped-admission points (process backend with lanes on) gate with a
+  wider throughput band (see ``SHIPPED_TOLERANCE``) because their
+  per-admission IPC hop is timing-bimodal on small CI boxes, while their
+  decision counters keep gating strictly.  Normalizing within the run is
+  what makes the gate meaningful on
   CI runners whose absolute speed differs arbitrarily from the machine
   that produced the committed numbers; pass ``--absolute`` to compare raw
   txn/s instead when both files come from the same machine.
@@ -22,10 +27,17 @@ path regressed:
 Sweep points present on only one side are reported but never fail the
 gate: the grid may legitimately grow (a new backend) or shrink across PRs.
 Runs with different workload scales (``"smoke"`` for ``-m smoke`` runs,
-else ``REPRO_BENCH_SCALE``) or workload parameters are skipped outright —
-their numbers are not comparable; committing the fresh file re-baselines
-the gate.  The committed baseline must therefore be a ``make smoke`` run,
-since that is what CI regenerates.
+else ``REPRO_BENCH_SCALE``) or workload parameters **fail the gate**:
+their numbers are not comparable, and a mis-scaled committed baseline
+would otherwise disarm every comparison silently (exactly the bug this
+gate once had — it *skipped* on mismatch, so a ``"default"``-scale
+baseline turned the gate into an exit-0 no-op on every CI run).  The
+committed baseline must be a ``make smoke`` run, since that is what CI
+regenerates; re-baseline by committing the fresh file.  The only
+skip-as-success left is the genuine first-commit case where no baseline
+exists at ``HEAD`` at all.  ``--require-points N`` additionally fails
+the gate when fewer than N sweep points were actually compared, so CI
+can reject any outcome where the gate silently had nothing to do.
 
 Used as ``make gate`` (part of ``make check``), so the gate runs
 identically on a developer laptop and in the CI workflow.
@@ -43,6 +55,24 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 BENCH_JSON = REPO_ROOT / "BENCH_admission.json"
 DEFAULT_TOLERANCE = 0.30
+
+#: Throughput tolerance for shipped-admission sweep points (process
+#: backend with lanes on).  Those points pay one worker round trip per
+#: admission, and on the 1-2 core boxes CI lands on that makes their
+#: wall-clock bimodal — run-to-run swings of 2x are routine while every
+#: other point stays within a few percent.  Their decisions and
+#: round-trip counters still gate strictly; only the throughput band
+#: widens, enough to absorb scheduler bimodality but not an
+#: order-of-magnitude collapse (e.g. a per-admission pool respawn).
+SHIPPED_TOLERANCE = 0.75
+
+
+def tolerance_for(key: tuple[int, str, bool], default: float) -> float:
+    """The throughput-drop tolerance applied to one sweep point."""
+    _shards, backend, lanes = key
+    if backend == "process" and lanes:
+        return max(default, SHIPPED_TOLERANCE)
+    return default
 
 
 def load_fresh(path: Path) -> dict:
@@ -88,17 +118,42 @@ def indexed(payload: dict) -> dict[tuple[int, str, bool], dict]:
     return {point_key(result): result for result in payload.get("results", [])}
 
 
+#: Sweep point every other point's throughput is normalized against.
+ANCHOR_KEY = (1, "unsharded", False)
+
+
 def normalized_throughput(
     points: dict[tuple[int, str, bool], dict], key: tuple[int, str, bool]
 ) -> float | None:
-    """A point's admission throughput relative to its run's baseline point."""
-    baseline = points.get((1, "unsharded", False))
+    """A point's admission throughput relative to its run's anchor point."""
+    baseline = points.get(ANCHOR_KEY)
     if baseline is None or key not in points:
         return None
     denominator = float(baseline["admission_txn_per_s"])
     if denominator <= 0:
         return None
     return float(points[key]["admission_txn_per_s"]) / denominator
+
+
+def missing_anchor(
+    points: dict[tuple[int, str, bool], dict], label: str
+) -> str | None:
+    """A failure message when a non-empty run lacks a usable anchor point.
+
+    Normalized gating divides every point by the run's ``(1, "unsharded",
+    False)`` throughput; without that anchor every comparison would be
+    silently skipped, which is indistinguishable from "everything passed".
+    An empty results list is fine (nothing to normalize), as is gating in
+    ``--absolute`` mode (the caller skips this check).
+    """
+    if not points:
+        return None
+    anchor = points.get(ANCHOR_KEY)
+    if anchor is None:
+        return f"{label} run has sweep points but no {ANCHOR_KEY} anchor"
+    if float(anchor["admission_txn_per_s"]) <= 0:
+        return f"{label} run's {ANCHOR_KEY} anchor has non-positive throughput"
+    return None
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -124,6 +179,16 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="compare raw txn/s instead of run-normalized throughput",
     )
+    parser.add_argument(
+        "--require-points",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "fail unless at least N sweep points were actually compared "
+            "(rejects the no-baseline and zero-shared-points outcomes)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     fresh_path = Path(args.fresh)
@@ -133,25 +198,48 @@ def main(argv: list[str] | None = None) -> int:
     fresh = load_fresh(fresh_path)
     baseline = load_baseline(args.baseline)
     if baseline is None:
+        if args.require_points > 0:
+            print(
+                "bench gate: FAIL — no committed baseline found but "
+                f"--require-points {args.require_points} demands a comparison"
+            )
+            return 1
         print("bench gate: no committed baseline found; nothing to compare")
         return 0
     if fresh.get("scale") != baseline.get("scale"):
         print(
-            "bench gate: scale mismatch "
-            f"({baseline.get('scale')!r} -> {fresh.get('scale')!r}); skipping"
+            "bench gate: FAIL — scale mismatch "
+            f"({baseline.get('scale')!r} -> {fresh.get('scale')!r}); the "
+            "committed baseline must be a `make smoke` run (commit the fresh "
+            "file to re-baseline)"
         )
-        return 0
+        return 1
     if fresh.get("workload") != baseline.get("workload"):
         print(
-            "bench gate: workload mismatch — baseline "
+            "bench gate: FAIL — workload mismatch: baseline "
             f"{baseline.get('workload')} vs fresh {fresh.get('workload')}; "
-            "numbers are not comparable, skipping (commit the fresh file to "
-            "re-baseline)"
+            "numbers are not comparable (commit the fresh file to re-baseline)"
         )
-        return 0
+        return 1
 
     fresh_points = indexed(fresh)
     base_points = indexed(baseline)
+    if not args.absolute:
+        anchor_failures = [
+            message
+            for message in (
+                missing_anchor(base_points, "baseline"),
+                missing_anchor(fresh_points, "fresh"),
+            )
+            if message is not None
+        ]
+        if anchor_failures:
+            for message in anchor_failures:
+                print(
+                    f"bench gate: FAIL — {message}; normalized throughput "
+                    "gating would silently skip every point"
+                )
+            return 1
     shared = sorted(set(fresh_points) & set(base_points))
     only_base = sorted(set(base_points) - set(fresh_points))
     only_fresh = sorted(set(fresh_points) - set(base_points))
@@ -187,15 +275,22 @@ def main(argv: list[str] | None = None) -> int:
             f"bench gate: {key} {label} {base_value:.2f} -> {fresh_value:.2f}"
             f" ({-drop:+.1%})"
         )
-        if drop > args.tolerance:
+        tolerance = tolerance_for(key, args.tolerance)
+        if drop > tolerance:
             failures.append(
                 f"{key}: {label} regressed {drop:.1%} "
-                f"(tolerance {args.tolerance:.0%})"
+                f"(tolerance {tolerance:.0%})"
             )
 
     if failures:
         for failure in failures:
             print(f"bench gate: FAIL — {failure}")
+        return 1
+    if len(shared) < args.require_points:
+        print(
+            f"bench gate: FAIL — only {len(shared)} sweep points compared, "
+            f"--require-points demands {args.require_points}"
+        )
         return 1
     print(f"bench gate: OK ({len(shared)} points within tolerance)")
     return 0

@@ -2,14 +2,18 @@
 
 Two pieces live here:
 
-* :func:`collect_plan_futures` — both plan fan-out paths (the sharded
-  manager's ``plan_on_shards`` and
+* :func:`collect_plan_futures` — every worker fan-out path (the sharded
+  manager's ``plan_on_shards``,
   :meth:`repro.core.quantum_state.QuantumState.ground`'s plain-executor
-  path) collect their futures the same way: sequential ``result(timeout)``
-  per future, cancel everything on expiry, and raise
-  :class:`~repro.errors.GroundingTimeout` before the caller applied any
-  plan.  Keeping the loop in one place keeps the two paths' timeout
-  semantics (and their error message) from drifting apart.
+  path, and the admission lanes' shipped witness searches in
+  ``QuantumState._ship_admission_search``) collects its futures the same
+  way: sequential ``result(timeout)`` per future, cancel everything on
+  expiry, and raise :class:`~repro.errors.GroundingTimeout` before the
+  caller applied (or committed) anything.  Keeping the loop in one place
+  keeps the paths' timeout semantics (and their error message) from
+  drifting apart; the shipped-admission caller additionally catches the
+  timeout and falls back to the inline search, so there a hung worker
+  costs latency, never an error.
 
 * :class:`ReadWriteGuard` — the readers-writer lock the lane-parallel
   admission pipeline uses to protect the extensional store: concurrent

@@ -118,6 +118,17 @@ class QuantumConfig:
             lane queue before the typed
             :class:`~repro.errors.AdmissionLaneSaturated` fires (the
             controller then escalates the arrival to an epoch barrier).
+        admission_ship_timeout_s: with ``admission_lanes=True`` and
+            ``shard_backend="process"``, each lane ships its arrivals'
+            witness-extension searches to the owning shard's worker
+            process as picklable payloads (see
+            :class:`~repro.sharding.backend.AdmissionPayload`) — the
+            admission analogue of the grounding-plan shipping, and what
+            makes concurrent lanes scale on real cores instead of the
+            GIL.  This bounds the wait for each shipped result; on expiry
+            the lane reruns the search inline, so the decision is
+            unchanged (same pure search function) and a hung worker costs
+            latency, never correctness.  ``None`` waits indefinitely.
         planner: join-planner settings for the underlying store.
     """
 
@@ -133,6 +144,7 @@ class QuantumConfig:
     admission_lanes: bool = False
     lane_queue_depth: int = 256
     lane_dispatch_timeout_s: float = 5.0
+    admission_ship_timeout_s: float | None = 30.0
     planner: PlannerConfig = field(default_factory=PlannerConfig)
 
     def __post_init__(self) -> None:
@@ -145,6 +157,14 @@ class QuantumConfig:
         if self.lane_dispatch_timeout_s <= 0:
             raise QuantumError(
                 "QuantumConfig.lane_dispatch_timeout_s must be positive"
+            )
+        if (
+            self.admission_ship_timeout_s is not None
+            and self.admission_ship_timeout_s <= 0
+        ):
+            raise QuantumError(
+                "QuantumConfig.admission_ship_timeout_s must be positive "
+                "(or None to wait indefinitely)"
             )
         from repro.sharding.backend import ShardBackend
 
@@ -231,6 +251,7 @@ class QuantumDatabase:
             on_grounded=self._handle_grounded,
             witness_cache=self.config.witness_cache,
             partitions=self.config.partition_manager(),
+            admission_ship_timeout_s=self.config.admission_ship_timeout_s,
         )
         # The lane-parallel admission controller (lazily created; only with
         # admission_lanes=True on a sharded database).
@@ -676,6 +697,12 @@ class QuantumDatabase:
             report["sharding.backend"] = backend.value
             report["sharding.plan_payload_bytes"] = stats.plan_payload_bytes
             report["sharding.worker_round_trips"] = stats.worker_round_trips
+            report["sharding.admission_payload_bytes"] = (
+                stats.admission_payload_bytes
+            )
+            report["sharding.admission_round_trips"] = (
+                stats.admission_round_trips
+            )
         if self.config.admission_lanes and self.sharded:
             from repro.sharding.admission_lane import AdmissionStatistics
 

@@ -50,8 +50,9 @@ from repro.core.serializability import (
     SerializabilityMode,
     grounding_plan,
 )
-from repro.core.solution_cache import SolutionCache
+from repro.core.solution_cache import AdmissionProbe, SolutionCache, Witness
 from repro.errors import (
+    GroundingTimeout,
     QuantumStateError,
     TransactionRejected,
     WriteRejected,
@@ -395,6 +396,7 @@ class QuantumState:
         on_grounded: Callable[[GroundedTransaction], None] | None = None,
         witness_cache: bool = True,
         partitions: PartitionManager | None = None,
+        admission_ship_timeout_s: float | None = 30.0,
     ) -> None:
         self.database = database
         self.policy = policy or GroundingPolicy()
@@ -426,6 +428,10 @@ class QuantumState:
         #: Guards the state counters against lost updates when several
         #: admission lanes increment them concurrently.
         self._statistics_lock = threading.Lock()
+        #: Per-search bound on waiting for a shipped admission result; on
+        #: expiry the lane falls back to the inline search (same decision,
+        #: by purity of :func:`~repro.core.solution_cache.compute_admission`).
+        self._admission_ship_timeout_s = admission_ship_timeout_s
         # Merges drop exactly the absorbed partitions' witnesses (precise,
         # merge-local — safe while lanes create partitions concurrently).
         self.partitions.on_partitions_absorbed = self._drop_absorbed_witnesses
@@ -516,13 +522,20 @@ class QuantumState:
         # Fetch the (structurally current) witness before the append changes
         # the partition's signature; it seeds the successor witness below.
         base_witness = self.cache.witness_for(partition)
-        # The witness-extension search reads the extensional store; hold the
-        # shared side of the store guard so a concurrent lane's grounding
-        # apply cannot mutate tables mid-search.
-        with self.store_guard.read():
-            solution = self.cache.ensure(
-                partition, new_factor, entry.renamed.hard_variables()
-            )
+        probe = self._ship_admission_search(partition, entry, base_witness)
+        if probe is not None:
+            # A worker ran the witness-extension search over a snapshot;
+            # apply its counters and decision exactly as if it ran inline.
+            self.cache.absorb_probe(probe)
+            solution = probe.substitution
+        else:
+            # The witness-extension search reads the extensional store; hold
+            # the shared side of the store guard so a concurrent lane's
+            # grounding apply cannot mutate tables mid-search.
+            with self.store_guard.read():
+                solution = self.cache.ensure(
+                    partition, new_factor, entry.renamed.hard_variables()
+                )
         if solution is None:
             with self._statistics_lock:
                 self.statistics.rejected += 1
@@ -567,6 +580,70 @@ class QuantumState:
             sequence = self._next_sequence
             self._next_sequence = sequence + 1
             return sequence
+
+    def _ship_admission_search(
+        self,
+        partition: Partition,
+        entry: PendingTransaction,
+        base_witness: Witness | None,
+    ) -> AdmissionProbe | None:
+        """Run the admission search on the owning shard's worker process.
+
+        Returns the worker's :class:`~repro.core.solution_cache.AdmissionProbe`
+        — or ``None`` whenever the inline path should run instead: the
+        manager has no ship target (unsharded, thread backend, or not on an
+        admission lane), the worker timed out, or the returned result fails
+        validation against the partition about to be committed to.  Falling
+        back is always sound because the shipped search and the inline one
+        are the same pure function.
+
+        The payload is built under the shared side of the store guard (the
+        snapshot must be consistent with the witness state shipped with
+        it); the wait for the worker happens *outside* the guard, so other
+        lanes' grounding applies proceed while this lane's search is on a
+        worker — that overlap is the multi-core win.
+        """
+        target = getattr(self.partitions, "admission_ship_target", None)
+        if target is None:
+            return None
+        shard = target(partition)
+        if shard is None:
+            return None
+        from repro.sharding.backend import (
+            admit_in_worker,
+            build_admission_payload,
+            dump_payload,
+        )
+
+        with self.store_guard.read():
+            payload = build_admission_payload(
+                partition,
+                entry.renamed,
+                entry.transaction_id,
+                database=self.database,
+                witness=base_witness,
+                enable_witness=self.cache.enable_witness,
+            )
+        blob = dump_payload(payload)
+        self.partitions.record_admission_ship(len(blob))
+        future = shard.submit(admit_in_worker, blob)
+        try:
+            result = collect_plan_futures(
+                [future], self._admission_ship_timeout_s, what="admission search"
+            )[0]
+        except GroundingTimeout:
+            return None
+        if (
+            result.transaction_id != entry.transaction_id
+            or result.partition_id != partition.partition_id
+            or result.pending_ids != partition.transaction_ids()
+        ):
+            # The partition is no longer the one the worker searched (it
+            # cannot restructure under lane ownership, but the check makes
+            # that invariant local and cheap); rerun inline.
+            return None
+        self.cache.search.absorb_nodes(result.search_nodes)
+        return result.probe
 
     def _drop_absorbed_witnesses(self, partition_ids: Sequence[int]) -> None:
         """Forget the witnesses of partitions a merge just absorbed."""

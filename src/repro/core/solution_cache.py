@@ -78,6 +78,194 @@ def _has_negated_atoms(formula: Formula) -> bool:
 
 
 @dataclass(frozen=True)
+class AdmissionProbe:
+    """The outcome of one pure admission search, plus its cache counters.
+
+    :func:`compute_admission` returns one of these instead of mutating a
+    :class:`SolutionCache` directly, which is what lets the identical
+    search run on a process-pool worker against a snapshot store: the
+    probe is picklable, carries no object references into the writer's
+    heap, and the writer applies it with :meth:`SolutionCache.absorb_probe`
+    exactly as if the search had run inline.
+
+    Attributes:
+        substitution: ground substitution witnessing satisfiability of the
+            composed body (plus the new factor when given), or ``None``
+            when admission must reject.
+        used_witness: True when the decision came from extending a
+            known-valid witness (the fast path) — the writer uses this to
+            choose between an incremental and a full footprint for the
+            successor witness, exactly like ``last_used_witness``.
+        verifications: composed-body verifications performed.
+        extension_hits: successful witness/cached-solution extensions.
+        extension_misses: failed extensions.
+        full_solves: full grounding searches over the composed body.
+        failures: unsatisfiable full solves.
+        witness_hits: admissions answered from a known-valid witness.
+        witness_misses: admissions no witness could serve.
+        fallback_searches: times the fast path fell back to composed-body
+            work.
+    """
+
+    substitution: Substitution | None
+    used_witness: bool = False
+    verifications: int = 0
+    extension_hits: int = 0
+    extension_misses: int = 0
+    full_solves: int = 0
+    failures: int = 0
+    witness_hits: int = 0
+    witness_misses: int = 0
+    fallback_searches: int = 0
+
+
+def verify_solution(
+    database: Database, formula: Formula, solution: Substitution | None
+) -> bool:
+    """True if ``solution`` still satisfies ``formula`` over ``database``.
+
+    The pure core of :meth:`SolutionCache.verify`: no counters, no cache
+    state — callable against a worker's snapshot store as well as the
+    writer's live one.
+    """
+    if solution is None:
+        return False
+    required = formula.free_variables()
+    if not required <= solution.domain():
+        return False
+    try:
+        valuation = solution.restrict(required).as_valuation()
+    except Exception:  # non-ground binding; treat as invalid
+        return False
+
+    def oracle(relation: str, values: tuple) -> bool:
+        if not database.has_table(relation):
+            return False
+        table = database.table(relation)
+        columns = list(table.schema.column_names)
+        for _ in table.lookup(columns, list(values)):
+            return True
+        return False
+
+    try:
+        return formula.evaluate(valuation, oracle)
+    except FormulaError:
+        return False
+
+
+def compute_admission(
+    search: GroundingSearch,
+    database: Database,
+    *,
+    composed: Formula,
+    cached_solution: Substitution | None,
+    witness_substitution: Substitution | None,
+    new_factor: Formula | None = None,
+    new_required: frozenset[Variable] = frozenset(),
+    base_required: frozenset[Variable] = frozenset(),
+    enable_witness: bool = True,
+) -> AdmissionProbe:
+    """The witness-extension admission search as a pure function.
+
+    This is :meth:`SolutionCache.ensure`'s find-or-extend-or-solve flow
+    factored out of the cache (mirroring how ``compute_grounding_plan``
+    was factored out of ``QuantumState`` for the process backend): it
+    reads only its arguments and the given store, mutates nothing, and
+    reports every counter through the returned :class:`AdmissionProbe`.
+    Running it inline over the live database and running it on a worker
+    over an order-preserving snapshot therefore produce bit-identical
+    decisions by construction — there is exactly one implementation.
+
+    Args:
+        search: the grounding search to run extensions/solves on (the
+            cache's shared search inline; a throwaway one in a worker).
+        database: the store ``search`` runs against (verification oracle).
+        composed: the partition's composed hard body.
+        cached_solution: the partition's last known satisfying
+            substitution (pre-witness fallback state).
+        witness_substitution: the substitution of a structurally current,
+            delta-valid witness, or ``None`` when no witness can serve.
+        new_factor: factor contributed by a transaction being admitted;
+            ``None`` (or ``TRUE``) when only re-validating.
+        new_required: variables of the new factor that must be ground.
+        base_required: hard variables of the partition's pending entries.
+        enable_witness: mirrors ``SolutionCache.enable_witness`` so the
+            miss/fallback counters stay comparable with the fast path off.
+    """
+    counters = {
+        "verifications": 0,
+        "extension_hits": 0,
+        "extension_misses": 0,
+        "full_solves": 0,
+        "failures": 0,
+        "witness_hits": 0,
+        "witness_misses": 0,
+        "fallback_searches": 0,
+    }
+
+    def verify(formula: Formula, solution: Substitution | None) -> bool:
+        if solution is None:
+            return False
+        counters["verifications"] += 1
+        return verify_solution(database, formula, solution)
+
+    def extend(
+        base: Substitution | None, factor: Formula, required: frozenset[Variable]
+    ) -> GroundingResult:
+        initial = base or Substitution.empty()
+        result = search.find_one(factor, required=required, initial=initial)
+        counters["extension_hits" if result.satisfiable else "extension_misses"] += 1
+        return result
+
+    def solve(formula: Formula, required: frozenset[Variable]) -> GroundingResult:
+        counters["full_solves"] += 1
+        result = search.find_one(formula, required=required)
+        if not result.satisfiable:
+            counters["failures"] += 1
+        return result
+
+    def probe(
+        substitution: Substitution | None, *, used_witness: bool = False
+    ) -> AdmissionProbe:
+        return AdmissionProbe(
+            substitution=substitution, used_witness=used_witness, **counters
+        )
+
+    if new_factor is None or new_factor is TRUE:
+        if witness_substitution is not None:
+            counters["witness_hits"] += 1
+            return probe(witness_substitution, used_witness=True)
+        if enable_witness:
+            counters["witness_misses"] += 1
+            counters["fallback_searches"] += 1
+        if verify(composed, cached_solution):
+            return probe(cached_solution)
+        result = solve(composed, base_required)
+        return probe(result.substitution if result.satisfiable else None)
+
+    required = frozenset(new_required)
+    if witness_substitution is not None:
+        extended = extend(witness_substitution, new_factor, required)
+        if extended.satisfiable:
+            # Only a *successful* extension counts as a hit: the composed
+            # body was never re-walked.
+            counters["witness_hits"] += 1
+            return probe(extended.substitution, used_witness=True)
+    if enable_witness:
+        counters["witness_misses"] += 1
+        counters["fallback_searches"] += 1
+    if witness_substitution is None and cached_solution is not None:
+        if verify(composed, cached_solution):
+            extended = extend(cached_solution, new_factor, required)
+            if extended.satisfiable:
+                return probe(extended.substitution)
+    # Cache miss: solve the whole composed body including the new factor.
+    full = conjunction([composed, new_factor])
+    result = solve(full, base_required | required)
+    return probe(result.substitution if result.satisfiable else None)
+
+
+@dataclass(frozen=True)
 class Witness:
     """A cached satisfying substitution plus its extensional footprint.
 
@@ -352,26 +540,7 @@ class SolutionCache:
         if solution is None:
             return False
         self._stats.verifications += 1
-        required = formula.free_variables()
-        if not required <= solution.domain():
-            return False
-        try:
-            valuation = solution.restrict(required).as_valuation()
-        except Exception:  # non-ground binding; treat as invalid
-            return False
-        try:
-            return formula.evaluate(valuation, self._oracle)
-        except FormulaError:
-            return False
-
-    def _oracle(self, relation: str, values: tuple) -> bool:
-        if not self.database.has_table(relation):
-            return False
-        table = self.database.table(relation)
-        columns = list(table.schema.column_names)
-        for _ in table.lookup(columns, list(values)):
-            return True
-        return False
+        return verify_solution(self.database, formula, solution)
 
     # -- extension / solving --------------------------------------------------
 
@@ -430,49 +599,48 @@ class SolutionCache:
             reject the transaction or write.
         """
         witness = self.witness_for(partition)
-        self.last_used_witness = False
+        probe = compute_admission(
+            self.search,
+            self.database,
+            composed=partition.composed_formula(),
+            cached_solution=partition.cached_solution,
+            witness_substitution=None if witness is None else witness.substitution,
+            new_factor=new_factor,
+            new_required=frozenset(new_required),
+            base_required=self._base_required(partition),
+            enable_witness=self.enable_witness,
+        )
+        self.absorb_probe(probe)
+        if (
+            (new_factor is None or new_factor is TRUE)
+            and not probe.used_witness
+            and probe.substitution is not None
+        ):
+            # Re-validation refreshed or re-solved the whole composed body;
+            # cache it as the partition's witness (full footprint).
+            self.store_witness(
+                partition, partition.composed_formula(), probe.substitution
+            )
+        return probe.substitution
 
-        if new_factor is None or new_factor is TRUE:
-            if witness is not None:
-                self._stats.witness_hits += 1
-                self.last_used_witness = True
-                return witness.substitution
-            if self.enable_witness:
-                self._stats.witness_misses += 1
-                self._stats.fallback_searches += 1
-            base_formula = partition.composed_formula()
-            if self.verify(base_formula, partition.cached_solution):
-                self.store_witness(partition, base_formula, partition.cached_solution)
-                return partition.cached_solution
-            result = self.solve(base_formula, required=self._base_required(partition))
-            if not result.satisfiable:
-                return None
-            self.store_witness(partition, base_formula, result.substitution)
-            return result.substitution
+    def absorb_probe(self, probe: AdmissionProbe) -> None:
+        """Apply a probe's counters and witness flag to this cache.
 
-        required = frozenset(new_required)
-        if witness is not None:
-            extended = self.extend(witness.substitution, new_factor, required)
-            if extended.satisfiable:
-                # Only a *successful* extension counts as a hit: the
-                # composed body was never re-walked.
-                self._stats.witness_hits += 1
-                self.last_used_witness = True
-                return extended.substitution
-        if self.enable_witness:
-            self._stats.witness_misses += 1
-            self._stats.fallback_searches += 1
-        if witness is None and partition.cached_solution is not None:
-            if self.verify(partition.composed_formula(), partition.cached_solution):
-                extended = self.extend(
-                    partition.cached_solution, new_factor, required
-                )
-                if extended.satisfiable:
-                    return extended.substitution
-        # Cache miss: solve the whole composed body including the new factor.
-        full = conjunction([partition.composed_formula(), new_factor])
-        result = self.solve(full, required=self._base_required(partition) | required)
-        return result.substitution if result.satisfiable else None
+        The writer-side half of a shipped admission search (and of the
+        inline one — :meth:`ensure` funnels through here too, so counters
+        are applied identically no matter where the search ran).  Lands in
+        the active lane slice like any other counter update.
+        """
+        stats = self._stats
+        stats.verifications += probe.verifications
+        stats.extension_hits += probe.extension_hits
+        stats.extension_misses += probe.extension_misses
+        stats.full_solves += probe.full_solves
+        stats.failures += probe.failures
+        stats.witness_hits += probe.witness_hits
+        stats.witness_misses += probe.witness_misses
+        stats.fallback_searches += probe.fallback_searches
+        self.last_used_witness = probe.used_witness
 
     @staticmethod
     def _base_required(partition: Partition) -> frozenset[Variable]:

@@ -13,9 +13,11 @@ partitions (see ``docs/architecture.md``, "Sharded partition execution"):
   (a thread pool or a process pool, selected by
   :class:`~repro.sharding.backend.ShardBackend`);
 * :mod:`repro.sharding.backend` — the executor strategies and the process
-  backend's picklable plan shipping
+  backend's picklable work shipping: grounding plans
   (:class:`~repro.sharding.backend.PlanPayload` →
-  :class:`~repro.sharding.backend.PlanResult`);
+  :class:`~repro.sharding.backend.PlanResult`) and admission searches
+  (:class:`~repro.sharding.backend.AdmissionPayload` →
+  :class:`~repro.sharding.backend.AdmissionResult`);
 * :class:`~repro.sharding.manager.ShardedPartitionManager` — the drop-in
   :class:`~repro.core.partition.PartitionManager` that routes admissions
   through the index, serializes the rare cross-shard merge, and keeps the
@@ -39,6 +41,8 @@ from repro.sharding.admission_lane import (
     ConflictRung,
 )
 from repro.sharding.backend import (
+    AdmissionPayload,
+    AdmissionResult,
     PlanPayload,
     PlanResult,
     ShardBackend,
@@ -56,6 +60,8 @@ from repro.sharding.signature import SignatureIndex, SignatureIndexStatistics
 __all__ = [
     "AdmissionController",
     "AdmissionLane",
+    "AdmissionPayload",
+    "AdmissionResult",
     "AdmissionStatistics",
     "ConflictRung",
     "PendingRef",

@@ -32,6 +32,18 @@ phase must travel as data.  The lifecycle is:
 Decisions are bit-identical across backends: the snapshot preserves row
 insertion order and index structure, the plan function is deterministic,
 and the mutating apply phase never leaves the single writer.
+
+The same shape covers the *admission* hot path.  An admission is a
+witness-extension search (:func:`repro.core.solution_cache.compute_admission`)
+followed by a serial commit; the search is read-only and pure, so a lane
+can ship it to its shard's process pool as an :class:`AdmissionPayload`
+(the partition's pending entries, its witness state, the renamed arrival,
+and the same order-preserving table snapshots) and apply the returned
+:class:`AdmissionResult` exactly as if the search had run inline.  The
+result echoes the shipped pending ids, so the writer can validate that
+the snapshot it searched is still the partition it is about to commit to
+before trusting the decision — any mismatch falls back to the inline
+search, which by purity returns the same answer.
 """
 
 from __future__ import annotations
@@ -43,6 +55,7 @@ from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from repro.core.partition import Partition
 from repro.core.serializability import SerializabilityMode
+from repro.core.solution_cache import AdmissionProbe, Witness, compute_admission
 from repro.errors import QuantumError
 from repro.logic.substitution import Substitution
 from repro.relational.database import Database
@@ -51,6 +64,7 @@ from repro.solver.grounding import GroundingSearch
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.quantum_state import PendingTransaction
+    from repro.core.resource_transaction import ResourceTransaction
 
 
 class ShardBackend(enum.Enum):
@@ -286,6 +300,143 @@ def plan_in_worker(blob: bytes) -> PlanResult:
     return execute_payload(pickle.loads(blob))
 
 
-def dump_payload(payload: PlanPayload) -> bytes:
+def dump_payload(payload: "PlanPayload | AdmissionPayload") -> bytes:
     """Pickle a payload with the highest protocol (writer side)."""
     return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+@dataclass(frozen=True)
+class AdmissionPayload:
+    """Everything a worker needs to run one arrival's admission search.
+
+    Attributes:
+        partition_id: the writer-side partition id (bookkeeping only).
+        entries: the partition's pending sequence *before* the arrival, in
+            serialization order.  The worker's rebuilt composition rewrites
+            the arrival against exactly these update portions, so the new
+            factor it searches is the one the writer would have searched.
+        renamed: the arriving transaction, variables already renamed with
+            its sequence suffix — renaming must happen on the writer, where
+            the sequence was allocated.
+        transaction_id: the arrival's id (echoed back for validation).
+        cached_solution: the partition's last known satisfying substitution.
+        witness_substitution: the substitution of the partition's
+            structurally current witness, or ``None``; the worker extends
+            it exactly as the inline fast path would.
+        enable_witness: the cache's fast-path switch, shipped so the
+            worker's miss/fallback counters match the inline path's.
+        tables: snapshots of every relation the partition or the arrival
+            touches (insertion order preserved — see :class:`PlanPayload`).
+    """
+
+    partition_id: int
+    entries: tuple["PendingTransaction", ...]
+    renamed: "ResourceTransaction"
+    transaction_id: int
+    cached_solution: Substitution | None
+    witness_substitution: Substitution | None
+    enable_witness: bool
+    tables: tuple[TableSnapshot, ...]
+
+
+@dataclass(frozen=True)
+class AdmissionResult:
+    """A worker's admission decision, expressed in picklable values.
+
+    Attributes:
+        partition_id: echo of :attr:`AdmissionPayload.partition_id`.
+        transaction_id: echo of :attr:`AdmissionPayload.transaction_id`.
+        pending_ids: ids of the entries the worker searched against.  The
+            writer compares them with the partition's current pending ids
+            before committing: if a merge or grounding slipped in between
+            snapshot and commit (it cannot on a lane — the lane owns the
+            partition — but the check makes the invariant local), the
+            result is discarded and the search reruns inline.
+        probe: the pure search outcome — decision substitution, witness
+            flag, and cache counters, applied by the writer via
+            ``SolutionCache.absorb_probe``.
+        search_nodes: grounding-search nodes the worker expanded (folded
+            into the writer's totals, like :attr:`PlanResult.search_nodes`).
+    """
+
+    partition_id: int
+    transaction_id: int
+    pending_ids: tuple[int, ...]
+    probe: AdmissionProbe
+    search_nodes: int = 0
+
+
+def build_admission_payload(
+    partition: Partition,
+    renamed: "ResourceTransaction",
+    transaction_id: int,
+    *,
+    database: Database,
+    witness: Witness | None,
+    enable_witness: bool,
+    snapshot_cache: dict[str, TableSnapshot] | None = None,
+) -> AdmissionPayload:
+    """Assemble the picklable admission payload for one arrival (writer side).
+
+    Must run under the store read guard: the snapshot has to be consistent
+    with the witness state shipped alongside it.
+    """
+    relations = set(partition.relations()) | set(renamed.relations())
+    return AdmissionPayload(
+        partition_id=partition.partition_id,
+        entries=partition.pending,
+        renamed=renamed,
+        transaction_id=transaction_id,
+        cached_solution=partition.cached_solution,
+        witness_substitution=None if witness is None else witness.substitution,
+        enable_witness=enable_witness,
+        tables=snapshot_tables(database, relations, cache=snapshot_cache),
+    )
+
+
+def execute_admission(payload: AdmissionPayload) -> AdmissionResult:
+    """Run the read-only admission search for a shipped payload.
+
+    The worker-side half of shipped admission, but an ordinary function:
+    the equivalence tests call it in-process to pin down that a payload
+    round-trip decides exactly what the inline ``SolutionCache.ensure``
+    would.
+    """
+    database = restore_database(payload.tables)
+    search = GroundingSearch(database)
+    partition = Partition(payload.entries)
+    partition.cached_solution = payload.cached_solution
+    new_factor = partition.composition().preview_factor(payload.renamed)
+    base_required: frozenset = frozenset()
+    if payload.entries:
+        base_required = frozenset().union(
+            *(entry.renamed.hard_variables() for entry in payload.entries)
+        )
+    probe = compute_admission(
+        search,
+        database,
+        composed=partition.composed_formula(),
+        cached_solution=payload.cached_solution,
+        witness_substitution=payload.witness_substitution,
+        new_factor=new_factor,
+        new_required=frozenset(payload.renamed.hard_variables()),
+        base_required=base_required,
+        enable_witness=payload.enable_witness,
+    )
+    return AdmissionResult(
+        partition_id=payload.partition_id,
+        transaction_id=payload.transaction_id,
+        pending_ids=tuple(entry.transaction_id for entry in payload.entries),
+        probe=probe,
+        search_nodes=search.totals.nodes,
+    )
+
+
+def admit_in_worker(blob: bytes) -> AdmissionResult:
+    """Process-pool entry point for a shipped admission search."""
+    return execute_admission(pickle.loads(blob))
+
+
+def worker_ready() -> bool:
+    """Trivial round-trip used by ``Shard.warm`` to pre-spawn pool workers."""
+    return True

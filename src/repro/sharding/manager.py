@@ -152,8 +152,13 @@ class ShardedPartitionStatistics(PartitionStatistics):
             different shards (serialized on the merge lock).
         plan_payload_bytes: pickled plan-payload bytes shipped to worker
             processes (0 on the thread backend, which submits closures).
-        worker_round_trips: plan payloads shipped to (and results received
-            from) worker processes.
+        worker_round_trips: payloads shipped to (and results received from)
+            worker processes — grounding plans and admission searches
+            combined.
+        admission_payload_bytes: pickled admission-payload bytes shipped to
+            worker processes by the lane-parallel admission pipeline.
+        admission_round_trips: admission searches shipped to worker
+            processes (a subset of ``worker_round_trips``).
     """
 
     index_filtered: int = 0
@@ -162,6 +167,8 @@ class ShardedPartitionStatistics(PartitionStatistics):
     cross_shard_merges: int = 0
     plan_payload_bytes: int = 0
     worker_round_trips: int = 0
+    admission_payload_bytes: int = 0
+    admission_round_trips: int = 0
 
 
 class ShardedPartitionManager(PartitionManager):
@@ -408,6 +415,34 @@ class ShardedPartitionManager(PartitionManager):
             else:
                 futures.append(shard.submit(plan, partition, entries))
         return collect_plan_futures(futures, timeout_s, what="shard plan")
+
+    # -- shipped admission searches ------------------------------------------
+
+    def admission_ship_target(self, partition: Partition) -> Shard | None:
+        """The shard an admission lane should ship this search to, if any.
+
+        Shipping happens only on the process backend and only from inside a
+        lane scope: the lane owns the partition (so nothing can restructure
+        it between snapshot and commit), and the per-shard pools are what
+        turn concurrent lanes into actual multi-core search work.  Outside
+        a lane — the serialized writer, recovery, the lanes-off sweep
+        points — the inline search is strictly cheaper, so ``None`` keeps
+        those paths byte-for-byte unchanged.
+        """
+        if self.backend is not ShardBackend.PROCESS:
+            return None
+        lane = self._lane_shard_id()
+        if lane is None:
+            return None
+        owner = self._owner.get(partition.partition_id)
+        return owner if owner is not None else self.shards[lane]
+
+    def record_admission_ship(self, payload_bytes: int) -> None:
+        """Count one shipped admission search (concurrent-lane safe)."""
+        with self.routing_lock:
+            self.statistics.admission_payload_bytes += payload_bytes
+            self.statistics.admission_round_trips += 1
+            self.statistics.worker_round_trips += 1
 
     def close(self) -> None:
         """Shut down every shard's executor (idempotent)."""

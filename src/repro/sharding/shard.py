@@ -123,6 +123,27 @@ class Shard:
             thread_name_prefix=f"repro-shard-{self.shard_id}",
         )
 
+    def warm(self) -> None:
+        """Start the executor now and, for process pools, spawn its workers.
+
+        Idempotent.  The lane-parallel admission pipeline ships witness
+        searches to the process pool on its hot path; without warming, the
+        first shipped admission of each shard would pay the worker-process
+        spawn inside the latency-sensitive window (and inside benchmark
+        timing sections).  One trivial round-trip per worker forces the
+        pool to its full size up front.
+        """
+        from repro.sharding.backend import worker_ready
+
+        if self.backend is not ShardBackend.PROCESS:
+            with self._executor_lock:
+                if self._executor is None:
+                    self._executor = self._create_executor()
+            return
+        futures = [self.submit(worker_ready) for _ in range(self._workers)]
+        for future in futures:
+            future.result()
+
     def close(self) -> None:
         """Shut the shard's executor down (idempotent; ownership survives).
 

@@ -1,0 +1,214 @@
+"""Exit-code coverage for ``scripts/bench_gate.py``.
+
+The gate is the last line of defence for the paper's Figure 7 scalability
+claim, and it was once silently disarmed: a ``"default"``-scale baseline
+made every CI comparison "skip" with exit 0.  These tests pin down the
+re-armed semantics — mismatched baselines *fail*, a missing normalization
+anchor *fails*, and ``--require-points`` rejects the nothing-was-compared
+outcome — by driving ``main()`` directly with synthetic benchmark files.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_gate", REPO_ROOT / "scripts" / "bench_gate.py"
+)
+bench_gate = importlib.util.module_from_spec(_SPEC)
+sys.modules.setdefault("bench_gate", bench_gate)
+_SPEC.loader.exec_module(bench_gate)
+
+WORKLOAD = {"num_flights": 10, "transactions": 120}
+
+
+def point(
+    shards: int,
+    backend: str,
+    lanes: bool,
+    txn_per_s: float,
+    *,
+    admitted: int = 100,
+    rejected: int = 20,
+) -> dict:
+    return {
+        "shards": shards,
+        "backend": backend,
+        "lanes": lanes,
+        "transactions": admitted + rejected,
+        "admitted": admitted,
+        "rejected": rejected,
+        "admission_txn_per_s": txn_per_s,
+    }
+
+
+def payload(
+    points: list[dict], *, scale: str = "smoke", workload: dict | None = None
+) -> dict:
+    return {
+        "scale": scale,
+        "workload": dict(WORKLOAD if workload is None else workload),
+        "results": points,
+    }
+
+
+def standard_points(anchor: float = 100.0, sharded: float = 200.0) -> list[dict]:
+    return [
+        point(1, "unsharded", False, anchor),
+        point(4, "thread", False, sharded),
+        point(4, "thread", True, sharded * 1.1),
+    ]
+
+
+def write(tmp_path: Path, name: str, data: dict) -> str:
+    path = tmp_path / name
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+def run_gate(tmp_path: Path, fresh: dict, baseline: dict, *extra: str) -> int:
+    return bench_gate.main(
+        [
+            "--fresh",
+            write(tmp_path, "fresh.json", fresh),
+            "--baseline",
+            write(tmp_path, "baseline.json", baseline),
+            *extra,
+        ]
+    )
+
+
+def test_clean_comparison_exits_zero(tmp_path, capsys):
+    assert run_gate(tmp_path, payload(standard_points()), payload(standard_points())) == 0
+    assert "OK (3 points" in capsys.readouterr().out
+
+
+def test_scale_mismatch_fails(tmp_path, capsys):
+    fresh = payload(standard_points())
+    baseline = payload(standard_points(), scale="default")
+    assert run_gate(tmp_path, fresh, baseline) == 1
+    assert "scale mismatch" in capsys.readouterr().out
+
+
+def test_workload_mismatch_fails(tmp_path, capsys):
+    fresh = payload(standard_points())
+    baseline = payload(
+        standard_points(), workload={"num_flights": 16, "transactions": 192}
+    )
+    assert run_gate(tmp_path, fresh, baseline) == 1
+    assert "workload mismatch" in capsys.readouterr().out
+
+
+def test_decision_divergence_fails(tmp_path, capsys):
+    fresh_points = standard_points()
+    fresh_points[1] = point(4, "thread", False, 200.0, admitted=99, rejected=21)
+    assert run_gate(tmp_path, payload(fresh_points), payload(standard_points())) == 1
+    assert "decisions diverged" in capsys.readouterr().out
+
+
+def test_throughput_drop_beyond_tolerance_fails(tmp_path, capsys):
+    # Anchor unchanged, sharded point's normalized throughput drops 50%.
+    fresh = payload(standard_points(sharded=100.0))
+    baseline = payload(standard_points(sharded=200.0))
+    assert run_gate(tmp_path, fresh, baseline) == 1
+    assert "regressed" in capsys.readouterr().out
+
+
+def test_throughput_drop_within_tolerance_passes(tmp_path):
+    fresh = payload(standard_points(sharded=180.0))
+    baseline = payload(standard_points(sharded=200.0))
+    assert run_gate(tmp_path, fresh, baseline) == 0
+
+
+def test_shipped_point_gets_wider_tolerance(tmp_path, capsys):
+    # Process-backend lane points pay an IPC hop per admission and are
+    # timing-bimodal on small boxes: a 60% drop (far beyond the default
+    # 30%) stays within SHIPPED_TOLERANCE and must pass...
+    fresh = payload(standard_points() + [point(4, "process", True, 40.0)])
+    baseline = payload(standard_points() + [point(4, "process", True, 100.0)])
+    assert run_gate(tmp_path, fresh, baseline) == 0
+    assert "OK (4 points" in capsys.readouterr().out
+    # ...while an order-of-magnitude collapse still fails.
+    collapsed = payload(standard_points() + [point(4, "process", True, 10.0)])
+    assert run_gate(tmp_path, collapsed, baseline) == 1
+    assert "regressed" in capsys.readouterr().out
+
+
+def test_shipped_point_decisions_still_gate_strictly(tmp_path, capsys):
+    # The wider throughput band never loosens decision gating.
+    fresh = payload(
+        standard_points()
+        + [point(4, "process", True, 100.0, admitted=99, rejected=21)]
+    )
+    baseline = payload(standard_points() + [point(4, "process", True, 100.0)])
+    assert run_gate(tmp_path, fresh, baseline) == 1
+    assert "decisions diverged" in capsys.readouterr().out
+
+
+def test_missing_anchor_fails(tmp_path, capsys):
+    without_anchor = payload([point(4, "thread", False, 200.0)])
+    assert run_gate(tmp_path, without_anchor, payload(standard_points())) == 1
+    assert "anchor" in capsys.readouterr().out
+
+    assert run_gate(tmp_path, payload(standard_points()), without_anchor) == 1
+
+
+def test_zero_throughput_anchor_fails(tmp_path, capsys):
+    broken = payload(
+        [point(1, "unsharded", False, 0.0), point(4, "thread", False, 200.0)]
+    )
+    assert run_gate(tmp_path, payload(standard_points()), broken) == 1
+    assert "non-positive" in capsys.readouterr().out
+
+
+def test_absolute_mode_skips_anchor_check(tmp_path):
+    without_anchor = payload([point(4, "thread", False, 200.0)])
+    assert run_gate(tmp_path, without_anchor, without_anchor, "--absolute") == 0
+
+
+def test_no_baseline_exits_zero(tmp_path, monkeypatch, capsys):
+    monkeypatch.setattr(bench_gate, "load_baseline", lambda explicit: None)
+    fresh = write(tmp_path, "fresh.json", payload(standard_points()))
+    assert bench_gate.main(["--fresh", fresh]) == 0
+    assert "no committed baseline" in capsys.readouterr().out
+
+
+def test_no_baseline_with_require_points_fails(tmp_path, monkeypatch):
+    monkeypatch.setattr(bench_gate, "load_baseline", lambda explicit: None)
+    fresh = write(tmp_path, "fresh.json", payload(standard_points()))
+    assert bench_gate.main(["--fresh", fresh, "--require-points", "1"]) == 1
+
+
+def test_missing_fresh_file_fails(tmp_path, capsys):
+    assert bench_gate.main(["--fresh", str(tmp_path / "absent.json")]) == 1
+    assert "run `make smoke` first" in capsys.readouterr().out
+
+
+def test_require_points_rejects_disjoint_grids(tmp_path, capsys):
+    fresh = payload(
+        [point(1, "unsharded", False, 100.0), point(2, "thread", False, 150.0)]
+    )
+    baseline = payload(
+        [point(1, "unsharded", False, 100.0), point(4, "process", False, 150.0)]
+    )
+    # One shared point (the anchor): --require-points 2 must fail...
+    assert run_gate(tmp_path, fresh, baseline, "--require-points", "2") == 1
+    assert "--require-points" in capsys.readouterr().out
+    # ...while 1 passes.
+    assert run_gate(tmp_path, fresh, baseline, "--require-points", "1") == 0
+
+
+@pytest.mark.parametrize("side", ["fresh", "baseline"])
+def test_one_sided_points_never_fail(tmp_path, side, capsys):
+    extra = standard_points() + [point(2, "process", True, 150.0)]
+    fresh, baseline = (extra, standard_points())
+    if side == "baseline":
+        fresh, baseline = baseline, fresh
+    assert run_gate(tmp_path, payload(fresh), payload(baseline)) == 0
+    assert "note —" in capsys.readouterr().out

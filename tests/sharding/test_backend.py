@@ -21,8 +21,12 @@ from repro import QuantumConfig, QuantumDatabase, parse_transaction
 from repro.errors import GroundingTimeout, QuantumError
 from repro.sharding import ShardBackend, ShardedPartitionManager
 from repro.sharding.backend import (
+    AdmissionResult,
+    admit_in_worker,
+    build_admission_payload,
     build_payload,
     dump_payload,
+    execute_admission,
     execute_payload,
     plan_in_worker,
     restore_database,
@@ -236,6 +240,163 @@ class TestProcessBackendEndToEnd:
         assert not any(shard.started for shard in shards)
         # close() is idempotent and the executors restart lazily.
         qdb.close()
+
+
+class TestAdmissionShipping:
+    """Shipped admission searches: payload round-trips, decision
+    equivalence with the inline ``SolutionCache.ensure`` path, and the
+    writer-side fallbacks (validation mismatch, worker timeout)."""
+
+    def _seeded(self):
+        """A 2-shard database whose flight-1 partition holds two entries."""
+        qdb = make_qdb(2)
+        for i, flight in enumerate((1, 1, 2)):
+            assert qdb.execute(pinned(f"s{i}", flight)).committed
+        partition = next(
+            p for p in qdb.state.partitions.partitions if len(p.pending) == 2
+        )
+        return qdb, partition
+
+    def _arrival_payload(self, qdb, partition, user="newbie", flight=1):
+        incoming = pinned(user, flight)
+        renamed = incoming.rename_variables(f"@{incoming.transaction_id}")
+        payload = build_admission_payload(
+            partition,
+            renamed,
+            incoming.transaction_id,
+            database=qdb.database,
+            witness=qdb.state.cache.witness_for(partition),
+            enable_witness=qdb.state.cache.enable_witness,
+        )
+        return incoming, renamed, payload
+
+    def test_admission_payload_pickle_round_trip(self):
+        qdb, partition = self._seeded()
+        incoming, renamed, payload = self._arrival_payload(qdb, partition)
+        back = pickle.loads(dump_payload(payload))
+        assert back.partition_id == partition.partition_id
+        assert back.transaction_id == incoming.transaction_id
+        assert [e.transaction_id for e in back.entries] == list(
+            partition.transaction_ids()
+        )
+        witness = qdb.state.cache.witness_for(partition)
+        assert back.witness_substitution == (
+            None if witness is None else witness.substitution
+        )
+        # Every relation the partition or the arrival touches ships along.
+        assert {s.name for s in back.tables} == {"Available", "Bookings"}
+        qdb.close()
+
+    def test_shipped_admission_matches_inline_ensure(self):
+        """admit_in_worker over the snapshot == SolutionCache.ensure inline."""
+        qdb, partition = self._seeded()
+        state = qdb.state
+        incoming, renamed, payload = self._arrival_payload(qdb, partition)
+        shipped = admit_in_worker(dump_payload(payload))
+        assert shipped.partition_id == partition.partition_id
+        assert shipped.transaction_id == incoming.transaction_id
+        assert shipped.pending_ids == tuple(partition.transaction_ids())
+        new_factor = partition.composition().preview_factor(renamed)
+        inline = state.cache.ensure(
+            partition, new_factor, renamed.hard_variables()
+        )
+        assert shipped.probe.substitution == inline
+        assert shipped.probe.used_witness == state.cache.last_used_witness
+        qdb.close()
+
+    def test_shipped_rejection_matches_inline(self):
+        """A capacity-exhausted arrival rejects identically on both paths."""
+        qdb = make_qdb(2)
+        for i in range(3):  # flight 1 has exactly 3 seats
+            assert qdb.execute(pinned(f"s{i}", 1)).committed
+        partition = next(
+            p for p in qdb.state.partitions.partitions if len(p.pending) == 3
+        )
+        _incoming, renamed, payload = self._arrival_payload(
+            qdb, partition, user="late"
+        )
+        shipped = execute_admission(payload)
+        assert shipped.probe.substitution is None
+        new_factor = partition.composition().preview_factor(renamed)
+        assert (
+            qdb.state.cache.ensure(
+                partition, new_factor, renamed.hard_variables()
+            )
+            is None
+        )
+        qdb.close()
+
+    def test_validation_mismatch_falls_back_inline(self):
+        """A result that fails id validation is discarded, not committed.
+
+        The fake shard returns a *rejecting* result with bogus ids: if the
+        writer trusted it, the admission below would be refused, so the
+        committed outcome proves the inline fallback reran the search.
+        """
+        from concurrent.futures import Future
+
+        from repro.core.solution_cache import AdmissionProbe
+
+        qdb = make_qdb(2, backend="process")
+        manager = qdb.state.partitions
+        bogus = AdmissionResult(
+            partition_id=-1,
+            transaction_id=-1,
+            pending_ids=(),
+            probe=AdmissionProbe(substitution=None),
+        )
+
+        class FakeShard:
+            def submit(self, fn, *args):
+                future: Future = Future()
+                future.set_result(bogus)
+                return future
+
+        manager.admission_ship_target = lambda partition: FakeShard()
+        assert qdb.execute(pinned("alice", 1)).committed
+        assert manager.statistics.admission_round_trips == 1
+        qdb.close()
+
+    def test_worker_timeout_falls_back_inline(self):
+        """A hung worker costs the writer latency, never the decision."""
+        from concurrent.futures import Future
+
+        qdb = make_qdb(2, backend="process")
+        qdb.state._admission_ship_timeout_s = 0.01
+
+        class HangingShard:
+            def submit(self, fn, *args):
+                return Future()  # never resolves
+
+        qdb.state.partitions.admission_ship_target = (
+            lambda partition: HangingShard()
+        )
+        assert qdb.execute(pinned("bob", 2)).committed
+        qdb.close()
+
+    def test_no_ship_target_off_lanes(self):
+        """Without an active lane scope nothing ships — even on the
+        process backend, serialized admissions stay inline."""
+        qdb = make_qdb(2, backend="process")
+        assert qdb.execute(pinned("carol", 1)).committed
+        assert qdb.state.partitions.statistics.admission_round_trips == 0
+        qdb.close()
+
+    def test_config_rejects_nonpositive_ship_timeout(self):
+        with pytest.raises(QuantumError, match="admission_ship_timeout_s"):
+            QuantumConfig(shards=2, admission_ship_timeout_s=0)
+        unbounded = QuantumConfig(admission_ship_timeout_s=None)
+        assert unbounded.admission_ship_timeout_s is None
+
+    def test_warm_prespawns_process_pools(self):
+        qdb = make_qdb(2, backend="process")
+        shards = qdb.state.partitions.shards
+        assert not any(shard.started for shard in shards)
+        for shard in shards:
+            shard.warm()
+        assert all(shard.started for shard in shards)
+        qdb.close()
+        assert not any(shard.started for shard in shards)
 
 
 class TestPlanTimeouts:
