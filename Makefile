@@ -1,12 +1,13 @@
 # Developer entry points for the quantum-database reproduction.
 #
-#   make check   - tier-1 tests + benchmark smoke pass + doc doctests + gate
-#   make test    - tier-1 test suite only (tests/)
-#   make smoke   - the smoke-marked benchmark subset (-m smoke)
-#   make docs    - doctest the README / architecture code blocks
-#   make gate    - perf-regression gate: fresh BENCH_admission.json vs HEAD's
-#   make lint    - ruff lint (and format check on the gated paths)
-#   make bench   - the full benchmark suite (regenerates every figure/table)
+#   make check    - tier-1 tests + smoke benchmarks + doctests + loadtest + gate
+#   make test     - tier-1 test suite only (tests/)
+#   make smoke    - the smoke-marked benchmark subset (-m smoke)
+#   make docs     - doctest the README / architecture code blocks
+#   make loadtest - closed-loop TCP load harness at smoke scale (64 clients)
+#   make gate     - perf-regression gate: fresh BENCH_admission.json vs HEAD's
+#   make lint     - ruff lint (and format check on the gated paths)
+#   make bench    - the full benchmark suite (regenerates every figure/table)
 #
 # Set REPRO_BENCH_SCALE=paper for the paper-sized benchmark parameters.
 # The smoke pass refreshes BENCH_admission.json (admission throughput and
@@ -27,9 +28,9 @@ PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 # Paths under `ruff format --check`; grows as files are normalized.
 FORMAT_PATHS = src/repro/sharding/backend.py scripts
 
-.PHONY: check test smoke docs gate lint bench
+.PHONY: check test smoke docs loadtest gate lint bench
 
-check: test smoke docs gate
+check: test smoke docs loadtest gate
 
 test:
 	$(PYTEST) -x -q tests
@@ -39,6 +40,14 @@ smoke:
 
 docs:
 	PYTHONPATH=src $(PYTHON) -m doctest README.md docs/architecture.md
+
+# Smoke-scale end-to-end check of the network layer: 64 concurrent TCP
+# clients against an in-process server, exiting non-zero on any dropped
+# or errored commit.  The gated latency percentiles come from the
+# benchmark suite (`make smoke`); this target proves the harness itself
+# stays healthy.  Scale it up by hand with --clients 1000.
+loadtest:
+	PYTHONPATH=src $(PYTHON) scripts/load_client.py --clients 64
 
 # Depends on smoke so the gate always compares a freshly emitted
 # BENCH_admission.json, never a stale working-tree copy (and `make -j`

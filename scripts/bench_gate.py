@@ -24,6 +24,16 @@ path regressed:
   that produced the committed numbers; pass ``--absolute`` to compare raw
   txn/s instead when both files come from the same machine.
 
+* **latency regression** — the ``"network"`` section (emitted by the TCP
+  load benchmark) carries commit-latency percentiles per concurrent-client
+  count.  A shared latency point whose p95, normalized by the same run's
+  anchor throughput (a machine-speed proxy: latency times machine speed is
+  roughly machine-invariant), grew by more than ``LATENCY_TOLERANCE``
+  (50%) fails the gate; network throughput gates with the standard
+  tolerance, and the point's decision counters gate strictly.  Unknown
+  keys in any result are ignored, so the format can keep growing without
+  tripping older baselines.
+
 Sweep points present on only one side are reported but never fail the
 gate: the grid may legitimately grow (a new backend) or shrink across PRs.
 Runs with different workload scales (``"smoke"`` for ``-m smoke`` runs,
@@ -65,6 +75,13 @@ DEFAULT_TOLERANCE = 0.30
 #: widens, enough to absorb scheduler bimodality but not an
 #: order-of-magnitude collapse (e.g. a per-admission pool respawn).
 SHIPPED_TOLERANCE = 0.75
+
+#: Maximum tolerated relative p95 commit-latency growth on the network
+#: load points.  Latency tails over real sockets are noisier than bulk
+#: throughput (one delayed scheduling round lands whole-hog in the p95),
+#: so the band is wider than the throughput default — but a latency
+#: doubling still fails.
+LATENCY_TOLERANCE = 0.50
 
 
 def tolerance_for(key: tuple[int, str, bool], default: float) -> float:
@@ -133,6 +150,38 @@ def normalized_throughput(
     if denominator <= 0:
         return None
     return float(points[key]["admission_txn_per_s"]) / denominator
+
+
+def network_points(payload: dict) -> dict[int, dict]:
+    """The TCP load sweep, keyed by concurrent-client count.
+
+    Baselines written before the network layer existed simply have no
+    ``"network"`` section — an empty mapping, which the gate reports as
+    new points rather than failing.
+    """
+    section = payload.get("network") or {}
+    return {int(result["clients"]): result for result in section.get("results", [])}
+
+
+def normalized_latency(
+    result: dict, points: dict[tuple[int, str, bool], dict]
+) -> float | None:
+    """p95 commit latency scaled by the run's anchor throughput.
+
+    Latency times machine speed is roughly machine-invariant, so scaling
+    each file's p95 by its own anchor ``admission_txn_per_s`` lets a slow
+    CI runner gate against a baseline recorded on a fast laptop — the same
+    trick normalized throughput uses, applied to a quantity where *higher*
+    is worse.
+    """
+    anchor = points.get(ANCHOR_KEY)
+    p95 = result.get("p95_ms")
+    if anchor is None or p95 is None:
+        return None
+    speed = float(anchor["admission_txn_per_s"])
+    if speed <= 0:
+        return None
+    return float(p95) * speed
 
 
 def missing_anchor(
@@ -282,17 +331,104 @@ def main(argv: list[str] | None = None) -> int:
                 f"(tolerance {tolerance:.0%})"
             )
 
+    # -- network load points (commit-latency percentiles over TCP) ----------
+    fresh_net = network_points(fresh)
+    base_net = network_points(baseline)
+    shared_net = sorted(set(fresh_net) & set(base_net))
+    for clients in sorted(set(base_net) - set(fresh_net)):
+        print(f"bench gate: note — baseline network point {clients} clients no longer swept")
+    for clients in sorted(set(fresh_net) - set(base_net)):
+        print(f"bench gate: note — new network point {clients} clients (no baseline)")
+    if shared_net:
+        fresh_net_scale = (fresh.get("network") or {}).get("scale")
+        base_net_scale = (baseline.get("network") or {}).get("scale")
+        if fresh_net_scale != base_net_scale:
+            print(
+                "bench gate: FAIL — network scale mismatch "
+                f"({base_net_scale!r} -> {fresh_net_scale!r}); commit the "
+                "fresh file to re-baseline"
+            )
+            return 1
+    compared_net = 0
+    for clients in shared_net:
+        fresh_result = fresh_net[clients]
+        base_result = base_net[clients]
+        if fresh_result.get("workload") != base_result.get("workload"):
+            failures.append(
+                f"network {clients} clients: workload mismatch — "
+                f"{base_result.get('workload')} vs {fresh_result.get('workload')}"
+            )
+            continue
+        for field in ("transactions", "admitted", "rejected"):
+            if fresh_result.get(field) != base_result.get(field):
+                failures.append(
+                    f"network {clients} clients: decisions diverged — {field} "
+                    f"{base_result.get(field)} -> {fresh_result.get(field)}"
+                )
+        compared_net += 1
+        # Throughput: same normalization and tolerance as the admission
+        # sweep (the anchor is the run's unsharded in-process point).
+        if args.absolute:
+            base_tp = float(base_result["throughput_txn_per_s"])
+            fresh_tp = float(fresh_result["throughput_txn_per_s"])
+        else:
+            base_anchor = base_points.get(ANCHOR_KEY)
+            fresh_anchor = fresh_points.get(ANCHOR_KEY)
+            if base_anchor is None or fresh_anchor is None:
+                base_tp = fresh_tp = None
+            else:
+                base_tp = float(base_result["throughput_txn_per_s"]) / float(
+                    base_anchor["admission_txn_per_s"]
+                )
+                fresh_tp = float(fresh_result["throughput_txn_per_s"]) / float(
+                    fresh_anchor["admission_txn_per_s"]
+                )
+        if base_tp is not None and base_tp > 0:
+            drop = 1.0 - fresh_tp / base_tp
+            print(
+                f"bench gate: network {clients} clients throughput "
+                f"{base_tp:.2f} -> {fresh_tp:.2f} ({-drop:+.1%})"
+            )
+            if drop > args.tolerance:
+                failures.append(
+                    f"network {clients} clients: throughput regressed "
+                    f"{drop:.1%} (tolerance {args.tolerance:.0%})"
+                )
+        # Latency: p95 normalized by the run's machine-speed anchor;
+        # growth beyond LATENCY_TOLERANCE fails.
+        if args.absolute:
+            base_p95 = base_result.get("p95_ms")
+            fresh_p95 = fresh_result.get("p95_ms")
+        else:
+            base_p95 = normalized_latency(base_result, base_points)
+            fresh_p95 = normalized_latency(fresh_result, fresh_points)
+        if base_p95 and fresh_p95:
+            growth = float(fresh_p95) / float(base_p95) - 1.0
+            print(
+                f"bench gate: network {clients} clients p95 "
+                f"{float(base_p95):.2f} -> {float(fresh_p95):.2f} ({growth:+.1%})"
+            )
+            if growth > LATENCY_TOLERANCE:
+                failures.append(
+                    f"network {clients} clients: p95 latency grew "
+                    f"{growth:.1%} (tolerance {LATENCY_TOLERANCE:.0%})"
+                )
+
     if failures:
         for failure in failures:
             print(f"bench gate: FAIL — {failure}")
         return 1
-    if len(shared) < args.require_points:
+    total_compared = len(shared) + compared_net
+    if total_compared < args.require_points:
         print(
-            f"bench gate: FAIL — only {len(shared)} sweep points compared, "
+            f"bench gate: FAIL — only {total_compared} sweep points compared, "
             f"--require-points demands {args.require_points}"
         )
         return 1
-    print(f"bench gate: OK ({len(shared)} points within tolerance)")
+    print(
+        f"bench gate: OK ({len(shared)} admission points and "
+        f"{compared_net} network points within tolerance)"
+    )
     return 0
 
 

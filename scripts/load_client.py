@@ -1,0 +1,238 @@
+#!/usr/bin/env python
+"""Closed-loop TCP load generator for the quantum database network server.
+
+Simulates the paper's front-end: thousands of concurrent clients, each one
+user of the Figure 7 entangled seat-booking workload, connecting over real
+sockets and submitting its booking as soon as the connection is up
+(closed-loop: every client has at most one request in flight).  Records
+per-commit latency and reports p50/p95/p99 alongside end-to-end throughput.
+
+By default the server is spawned in-process (loopback TCP, one event
+loop — the same topology the network benchmark gates); pass ``--host`` and
+``--port`` to aim the load at an externally running ``repro.server.net``
+instead.
+
+Examples::
+
+    # 1000 concurrent clients against an in-process server
+    PYTHONPATH=src python scripts/load_client.py --clients 1000
+
+    # smoke scale, machine-readable output
+    PYTHONPATH=src python scripts/load_client.py --clients 64 --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:  # script-friendly imports
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import (  # noqa: E402
+    NetClient,
+    NetConfig,
+    NetworkServer,
+    QuantumConfig,
+    QuantumDatabase,
+    format_transaction,
+)
+from repro.workloads.arrival_orders import ArrivalOrder  # noqa: E402
+from repro.workloads.entangled_workload import generate_workload  # noqa: E402
+from repro.workloads.flights import (  # noqa: E402
+    FlightDatabaseSpec,
+    build_flight_database,
+)
+
+#: Seats per flight in the generated database: four seats, two coordination
+#: pairs — every client books exactly one seat, so flights = clients / 4.
+SEATS_PER_FLIGHT = 4
+
+#: Connections are opened in waves of this size so a burst of thousands of
+#: SYNs does not overflow the listen backlog.
+CONNECT_WAVE = 64
+
+
+def percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def spec_for_clients(clients: int) -> FlightDatabaseSpec:
+    """A flight database sized so every simulated client can book one seat."""
+    flights = max(1, (clients + SEATS_PER_FLIGHT - 1) // SEATS_PER_FLIGHT)
+    return FlightDatabaseSpec(
+        num_flights=flights, rows_per_flight=SEATS_PER_FLIGHT
+    )
+
+
+async def run_load(
+    clients: int,
+    *,
+    seed: int = 0,
+    k: int = 4,
+    host: str | None = None,
+    port: int | None = None,
+    tenant: str | None = None,
+    ground: bool = True,
+) -> dict:
+    """Drive ``clients`` concurrent TCP clients; return the measurements.
+
+    Every client opens its own connection, submits one entangled booking
+    (its user's transaction from the seeded Figure 7 stream), measures the
+    commit round trip, and disconnects.  When ``host`` is None an
+    in-process :class:`NetworkServer` is started on loopback and drained
+    afterwards; otherwise the load goes to the external server (which is
+    expected to already hold the matching flight database).
+    """
+    spec = spec_for_clients(clients)
+    workload = generate_workload(spec, ArrivalOrder.RANDOM, seed=seed)
+    transactions = list(workload.transactions)[:clients]
+
+    net = None
+    qdb = None
+    if host is None:
+        qdb = QuantumDatabase(build_flight_database(spec), QuantumConfig(k=k))
+        net = await NetworkServer(qdb, NetConfig()).start()
+        host, port = "127.0.0.1", net.port
+    assert port is not None, "--port is required with --host"
+
+    latencies_s: list[float] = []
+    decisions: list[bool] = []
+    lock = asyncio.Lock()
+
+    async def one_client(transaction) -> None:
+        client = await NetClient.connect(
+            host, port, client=transaction.client, tenant=tenant
+        )
+        try:
+            begin = time.perf_counter()
+            result = await client.commit(
+                format_transaction(transaction),
+                client=transaction.client,
+                partner=transaction.partner,
+            )
+            elapsed = time.perf_counter() - begin
+            async with lock:
+                latencies_s.append(elapsed)
+                decisions.append(result.committed)
+        finally:
+            await client.close()
+
+    start = time.perf_counter()
+    tasks: list[asyncio.Task] = []
+    for wave_start in range(0, len(transactions), CONNECT_WAVE):
+        wave = transactions[wave_start : wave_start + CONNECT_WAVE]
+        tasks.extend(asyncio.ensure_future(one_client(t)) for t in wave)
+        # One scheduling round between waves keeps the SYN burst below the
+        # listen backlog while every already-connected client stays active.
+        await asyncio.sleep(0)
+    errors = [
+        r for r in await asyncio.gather(*tasks, return_exceptions=True)
+        if isinstance(r, BaseException)
+    ]
+    elapsed = time.perf_counter() - start
+
+    grounded = 0
+    if net is not None:
+        if ground and qdb is not None:
+            grounded = len(await net.server.ground_all())
+        await net.drain()
+    if qdb is not None:
+        qdb.close()
+
+    ordered = sorted(latencies_s)
+    return {
+        "clients": clients,
+        "transactions": len(transactions),
+        "completed": len(latencies_s),
+        "errors": len(errors),
+        "admitted": sum(decisions),
+        "rejected": len(decisions) - sum(decisions),
+        "grounded": grounded,
+        "elapsed_s": round(elapsed, 4),
+        "throughput_txn_per_s": round(len(latencies_s) / elapsed, 1)
+        if elapsed > 0
+        else 0.0,
+        "p50_ms": round(percentile(ordered, 0.50) * 1e3, 3),
+        "p95_ms": round(percentile(ordered, 0.95) * 1e3, 3),
+        "p99_ms": round(percentile(ordered, 0.99) * 1e3, 3),
+        "max_ms": round((ordered[-1] if ordered else 0.0) * 1e3, 3),
+        "workload": {
+            "order": "RANDOM",
+            "num_flights": spec.num_flights,
+            "rows_per_flight": spec.rows_per_flight,
+            "seed": seed,
+        },
+    }
+
+
+def format_summary(result: dict) -> str:
+    return (
+        f"{result['clients']} clients | "
+        f"{result['completed']}/{result['transactions']} commits "
+        f"({result['admitted']} admitted, {result['rejected']} rejected, "
+        f"{result['errors']} errors) | "
+        f"{result['throughput_txn_per_s']} txn/s over {result['elapsed_s']}s | "
+        f"latency ms p50={result['p50_ms']} p95={result['p95_ms']} "
+        f"p99={result['p99_ms']} max={result['max_ms']}"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=1000,
+        help="number of concurrent TCP clients (default 1000)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--host",
+        default=None,
+        help="external server host (default: spawn an in-process server)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=None, help="external server port"
+    )
+    parser.add_argument(
+        "--tenant", default=None, help="tenant identity for every client"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the full result as JSON"
+    )
+    args = parser.parse_args(argv)
+    if args.clients < 1:
+        parser.error("--clients must be at least 1")
+    if (args.host is None) != (args.port is None):
+        parser.error("--host and --port must be passed together")
+
+    result = asyncio.run(
+        run_load(
+            args.clients,
+            seed=args.seed,
+            host=args.host,
+            port=args.port,
+            tenant=args.tenant,
+        )
+    )
+    if args.json:
+        print(json.dumps(result, indent=2))
+    else:
+        print(format_summary(result))
+    if result["errors"] or result["completed"] != result["transactions"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -86,9 +86,11 @@ from repro.core.serializability import SerializabilityMode
 from repro.core.solution_cache import SolutionCacheStatistics, Witness
 from repro.errors import (
     GroundingTimeout,
+    ProtocolError,
     QuantumError,
     ReproError,
     SessionBackpressure,
+    TenantBackpressure,
     TransactionRejected,
     WriteRejected,
 )
@@ -98,10 +100,14 @@ from repro.relational.wal import FileWalSink, WriteAheadLog
 from repro.server import (
     AdmissionResult,
     CheckpointPolicy,
+    NetClient,
+    NetConfig,
+    NetworkServer,
     QuantumServer,
     ServerConfig,
     Session,
     SessionStatistics,
+    serve,
 )
 from repro.sharding import (
     Shard,
@@ -122,7 +128,11 @@ __all__ = [
     "GroundingPolicy",
     "GroundingStrategy",
     "GroundingTimeout",
+    "NetClient",
+    "NetConfig",
+    "NetworkServer",
     "PlannerConfig",
+    "ProtocolError",
     "QuantumConfig",
     "QuantumDatabase",
     "QuantumError",
@@ -141,6 +151,7 @@ __all__ = [
     "ShardedPartitionManager",
     "SignatureIndex",
     "SolutionCacheStatistics",
+    "TenantBackpressure",
     "TransactionRejected",
     "Witness",
     "WriteAheadLog",
@@ -149,4 +160,5 @@ __all__ = [
     "format_transaction",
     "make_adjacent_seat_request",
     "parse_transaction",
+    "serve",
 ]

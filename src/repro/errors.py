@@ -186,5 +186,49 @@ class SessionBackpressure(QuantumError):
     """
 
 
+class TenantBackpressure(QuantumError):
+    """A tenant exceeded its per-tenant queue quota.
+
+    One rung above :class:`SessionBackpressure` on the backpressure ladder
+    (session quota → tenant quota → connection write buffer): a tenant is a
+    named group of sessions — typically every network connection opened
+    with the same ``tenant`` identity — and
+    ``ServerConfig(tenant_quota=N)`` caps the group's *combined*
+    queued-but-unprocessed items.  A tenant that opens many connections
+    cannot multiply its share of the admission queue; the submission was
+    not enqueued, and the network layer maps the error to a
+    ``tenant_backpressure`` protocol error frame so remote clients can
+    back off.
+    """
+
+
+class ProtocolError(QuantumError):
+    """A network peer violated the framed wire protocol.
+
+    Raised by the frame codec (:mod:`repro.server.protocol`) while
+    decoding bytes from a socket.  The server answers with a final
+    ``protocol_error`` frame when possible and closes the connection
+    cleanly — a malformed peer can never leave an unhandled exception in
+    the writer loop or wedge other connections.
+    """
+
+
+class FrameTooLarge(ProtocolError):
+    """An incoming frame declared a length beyond the configured maximum.
+
+    The length prefix is read before the payload, so an oversized (or
+    garbage) declaration is rejected without ever buffering the body —
+    a hostile peer cannot make the server allocate unbounded memory.
+    """
+
+
+class FrameCorrupt(ProtocolError):
+    """An incoming frame's payload was not a valid protocol message.
+
+    Covers undecodable bytes (not UTF-8 JSON), well-formed JSON that is
+    not an object, and objects without a known ``op`` code.
+    """
+
+
 class QuantumRecoveryError(QuantumError):
     """The pending-transactions table could not be restored after a crash."""

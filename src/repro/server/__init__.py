@@ -47,6 +47,9 @@ Quickstart::
     asyncio.run(main())
 """
 
+from repro.server.client import ConnectionClosed, NetClient, RemoteCommitResult
+from repro.server.net import NetConfig, NetStatistics, NetworkServer, serve
+from repro.server.protocol import FrameDecoder, Opcode, encode_frame
 from repro.server.service import (
     CheckpointPolicy,
     QuantumServer,
@@ -65,12 +68,22 @@ from repro.server.session import (
 __all__ = [
     "AdmissionResult",
     "CheckpointPolicy",
+    "ConnectionClosed",
+    "FrameDecoder",
     "GroundingTarget",
+    "NetClient",
+    "NetConfig",
+    "NetStatistics",
+    "NetworkServer",
+    "Opcode",
     "QuantumServer",
+    "RemoteCommitResult",
     "ServerConfig",
     "ServerStatistics",
     "Session",
     "SessionStatistics",
     "WorkItem",
     "WorkKind",
+    "encode_frame",
+    "serve",
 ]

@@ -48,7 +48,12 @@ from repro.core.quantum_database import CommitResult, QuantumDatabase
 from repro.core.quantum_state import GroundedTransaction
 from repro.core.reads import ReadMode, ReadRequest
 from repro.core.resource_transaction import ResourceTransaction
-from repro.errors import QuantumError, SessionBackpressure, TransactionError
+from repro.errors import (
+    QuantumError,
+    SessionBackpressure,
+    TenantBackpressure,
+    TransactionError,
+)
 from repro.relational.wal import FileWalSink
 from repro.server.session import GroundingTarget, Session
 
@@ -153,6 +158,14 @@ class ServerConfig:
             session that already has this many items in flight gets a typed
             :class:`~repro.errors.SessionBackpressure` error instead of
             silently occupying the shared queue and starving other clients.
+        tenant_quota: per-tenant cap on queued-but-unprocessed items,
+            summed over every session opened with the same ``tenant``
+            identity (one rung above the session quota on the
+            backpressure ladder).  A tenant that opens many sessions —
+            e.g. many network connections — cannot multiply its share of
+            the admission queue: beyond the quota, submissions get a typed
+            :class:`~repro.errors.TenantBackpressure`.  Sessions without a
+            tenant are exempt.  ``None`` (default) disables the cap.
         grounding_timeout_s: bound on waiting for each fanned-out grounding
             plan future (shard executors — thread or process — and the
             server's own pool alike).  ``None`` (default) waits forever.
@@ -177,6 +190,7 @@ class ServerConfig:
     executor_workers: int = 2
     queue_depth: int = 1024
     session_quota: int | None = None
+    tenant_quota: int | None = None
     grounding_timeout_s: float | None = None
     checkpoint_policy: CheckpointPolicy | None = None
     checkpoint_on_shutdown: bool = True
@@ -187,6 +201,11 @@ class ServerConfig:
         if self.session_quota is not None and self.session_quota < 1:
             raise QuantumError(
                 "ServerConfig.session_quota must be at least 1 (or None): a "
+                "zero quota would reject every submission forever"
+            )
+        if self.tenant_quota is not None and self.tenant_quota < 1:
+            raise QuantumError(
+                "ServerConfig.tenant_quota must be at least 1 (or None): a "
                 "zero quota would reject every submission forever"
             )
         if self.grounding_timeout_s is not None and self.grounding_timeout_s <= 0:
@@ -219,6 +238,8 @@ class ServerStatistics:
             observer hook.
         backpressure_rejections: submissions refused because their session
             exceeded its queue quota.
+        tenant_rejections: submissions refused because their tenant's
+            combined in-flight items exceeded the tenant quota.
         policy_checkpoints: checkpoints taken by the periodic policy.
         checkpoints_refused: policy checkpoints refused because a store
             transaction was still active (retried at the next boundary).
@@ -241,6 +262,7 @@ class ServerStatistics:
     searches_observed: int = 0
     search_nodes_observed: int = 0
     backpressure_rejections: int = 0
+    tenant_rejections: int = 0
     policy_checkpoints: int = 0
     checkpoints_refused: int = 0
 
@@ -272,6 +294,9 @@ class QuantumServer:
         self._executor: ThreadPoolExecutor | None = None
         self._sessions: dict[int, Session] = {}
         self._session_ids = 0
+        #: Queued-but-unprocessed items per tenant (the tenant-quota rung
+        #: of the backpressure ladder); entries vanish at zero.
+        self._tenant_in_flight: dict[str, int] = {}
         self._closed = False
         self._started = False
         #: The server's event loop (set by start()); grounding notifications
@@ -392,17 +417,35 @@ class QuantumServer:
 
     # -- sessions -----------------------------------------------------------
 
-    def session(self, client: str | None = None) -> Session:
-        """Open a new client session."""
+    def session(
+        self, client: str | None = None, *, tenant: str | None = None
+    ) -> Session:
+        """Open a new client session.
+
+        Args:
+            client: requesting user name (defaulted into parsed
+                transactions and entanglement bookkeeping).
+            tenant: quota group this session bills against when
+                ``ServerConfig.tenant_quota`` is set; sessions without a
+                tenant are exempt from the tenant rung.
+        """
         if self._closed:
             raise QuantumError("server is shut down")
         self._session_ids += 1
-        session = Session(self, self._session_ids, client)
+        session = Session(self, self._session_ids, client, tenant=tenant)
         self._sessions[session.session_id] = session
         return session
 
     def _forget_session(self, session: Session) -> None:
         self._sessions.pop(session.session_id, None)
+
+    def _release_tenant(self, tenant: str) -> None:
+        """Return a tenant quota slot once a queued item is resolved."""
+        remaining = self._tenant_in_flight.get(tenant, 0) - 1
+        if remaining > 0:
+            self._tenant_in_flight[tenant] = remaining
+        else:
+            self._tenant_in_flight.pop(tenant, None)
 
     @property
     def session_count(self) -> int:
@@ -433,6 +476,10 @@ class QuantumServer:
                 "server is not accepting work (not started or shut down)"
             )
         assert self._queue is not None
+        # The backpressure ladder, cheapest rung first: the session quota
+        # bounds one connection's pipeline, the tenant quota bounds the sum
+        # over all of a tenant's sessions.  Both are checked before either
+        # counter moves, so a refusal at any rung leaks nothing.
         quota = self.config.session_quota
         if session is not None and quota is not None:
             if session._in_flight >= quota:
@@ -443,12 +490,33 @@ class QuantumServer:
                     f"operations in flight (quota {quota}); retry after they "
                     "complete"
                 )
-            # Count the submission against the quota for its whole queued
-            # lifetime — including time spent waiting on the global bound.
+        tenant_quota = self.config.tenant_quota
+        tenant = session.tenant if session is not None else None
+        if tenant is not None and tenant_quota is not None:
+            in_flight = self._tenant_in_flight.get(tenant, 0)
+            if in_flight >= tenant_quota:
+                self.statistics.tenant_rejections += 1
+                session.statistics.tenant_backpressure += 1
+                raise TenantBackpressure(
+                    f"tenant {tenant!r} has {in_flight} operations in flight "
+                    f"across its sessions (quota {tenant_quota}); retry after "
+                    "they complete"
+                )
+        # Count the submission against its quotas for its whole queued
+        # lifetime — including time spent waiting on the global bound.
+        if session is not None and quota is not None:
             session._in_flight += 1
+        if tenant is not None and tenant_quota is not None:
+            self._tenant_in_flight[tenant] = (
+                self._tenant_in_flight.get(tenant, 0) + 1
+            )
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         if session is not None and quota is not None:
             future.add_done_callback(session._release_in_flight)
+        if tenant is not None and tenant_quota is not None:
+            future.add_done_callback(
+                lambda _future, tenant=tenant: self._release_tenant(tenant)
+            )
         try:
             await self._queue.put(WorkItem(kind, payload, future))
         except BaseException:

@@ -114,6 +114,9 @@ class SessionStatistics:
         cancelled: commits cancelled before the writer admitted them.
         backpressure: submissions refused because the session exceeded its
             queue quota (:class:`~repro.errors.SessionBackpressure`).
+        tenant_backpressure: submissions refused because the session's
+            tenant exceeded its combined quota
+            (:class:`~repro.errors.TenantBackpressure`).
     """
 
     submitted: int = 0
@@ -126,6 +129,7 @@ class SessionStatistics:
     grounding_events: int = 0
     cancelled: int = 0
     backpressure: int = 0
+    tenant_backpressure: int = 0
 
 
 class Session:
@@ -136,10 +140,20 @@ class Session:
     the server's single-writer queue serializes them.
     """
 
-    def __init__(self, server: "QuantumServer", session_id: int, client: str | None) -> None:
+    def __init__(
+        self,
+        server: "QuantumServer",
+        session_id: int,
+        client: str | None,
+        *,
+        tenant: str | None = None,
+    ) -> None:
         self._server = server
         self.session_id = session_id
         self.client = client
+        #: Quota group this session bills against under
+        #: ``ServerConfig.tenant_quota`` (None: exempt from the tenant rung).
+        self.tenant = tenant
         self.statistics = SessionStatistics()
         self._sequence = 0
         self._closed = False

@@ -86,7 +86,7 @@ def run_gate(tmp_path: Path, fresh: dict, baseline: dict, *extra: str) -> int:
 
 def test_clean_comparison_exits_zero(tmp_path, capsys):
     assert run_gate(tmp_path, payload(standard_points()), payload(standard_points())) == 0
-    assert "OK (3 points" in capsys.readouterr().out
+    assert "OK (3 admission points" in capsys.readouterr().out
 
 
 def test_scale_mismatch_fails(tmp_path, capsys):
@@ -133,7 +133,7 @@ def test_shipped_point_gets_wider_tolerance(tmp_path, capsys):
     fresh = payload(standard_points() + [point(4, "process", True, 40.0)])
     baseline = payload(standard_points() + [point(4, "process", True, 100.0)])
     assert run_gate(tmp_path, fresh, baseline) == 0
-    assert "OK (4 points" in capsys.readouterr().out
+    assert "OK (4 admission points" in capsys.readouterr().out
     # ...while an order-of-magnitude collapse still fails.
     collapsed = payload(standard_points() + [point(4, "process", True, 10.0)])
     assert run_gate(tmp_path, collapsed, baseline) == 1
@@ -212,3 +212,167 @@ def test_one_sided_points_never_fail(tmp_path, side, capsys):
         fresh, baseline = baseline, fresh
     assert run_gate(tmp_path, payload(fresh), payload(baseline)) == 0
     assert "note —" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# Network load points: commit-latency percentiles over TCP
+# ---------------------------------------------------------------------------
+
+
+NET_WORKLOAD = {"order": "RANDOM", "num_flights": 16, "rows_per_flight": 4, "seed": 0}
+
+
+def net_point(
+    clients: int,
+    *,
+    txn_per_s: float = 300.0,
+    p95_ms: float = 20.0,
+    admitted: int | None = None,
+    rejected: int = 0,
+    workload: dict | None = None,
+) -> dict:
+    admitted = clients if admitted is None else admitted
+    return {
+        "clients": clients,
+        "transactions": admitted + rejected,
+        "admitted": admitted,
+        "rejected": rejected,
+        "throughput_txn_per_s": txn_per_s,
+        "p50_ms": p95_ms / 2,
+        "p95_ms": p95_ms,
+        "p99_ms": p95_ms * 1.5,
+        "workload": dict(NET_WORKLOAD if workload is None else workload),
+    }
+
+
+def with_network(base: dict, points: list[dict], *, scale: str = "smoke") -> dict:
+    data = dict(base)
+    data["network"] = {"scale": scale, "results": points}
+    return data
+
+
+def test_network_points_clean_comparison(tmp_path, capsys):
+    fresh = with_network(payload(standard_points()), [net_point(64), net_point(256)])
+    baseline = with_network(payload(standard_points()), [net_point(64), net_point(256)])
+    assert run_gate(tmp_path, fresh, baseline) == 0
+    assert "2 network points" in capsys.readouterr().out
+
+
+def test_network_section_absent_from_baseline_is_a_note(tmp_path, capsys):
+    # Pre-network baselines must keep gating cleanly: the fresh network
+    # points are reported as new, never failed.
+    fresh = with_network(payload(standard_points()), [net_point(64)])
+    baseline = payload(standard_points())
+    assert run_gate(tmp_path, fresh, baseline) == 0
+    out = capsys.readouterr().out
+    assert "new network point 64 clients" in out
+
+
+def test_network_decision_divergence_fails(tmp_path, capsys):
+    fresh = with_network(
+        payload(standard_points()), [net_point(64, admitted=60, rejected=4)]
+    )
+    baseline = with_network(payload(standard_points()), [net_point(64)])
+    assert run_gate(tmp_path, fresh, baseline) == 1
+    assert "decisions diverged" in capsys.readouterr().out
+
+
+def test_network_p95_growth_beyond_tolerance_fails(tmp_path, capsys):
+    # 60% latency growth > the 50% band (anchors equal, so normalization
+    # is the identity here).
+    fresh = with_network(payload(standard_points()), [net_point(64, p95_ms=32.0)])
+    baseline = with_network(payload(standard_points()), [net_point(64, p95_ms=20.0)])
+    assert run_gate(tmp_path, fresh, baseline) == 1
+    assert "p95 latency grew" in capsys.readouterr().out
+
+
+def test_network_p95_growth_within_tolerance_passes(tmp_path):
+    fresh = with_network(payload(standard_points()), [net_point(64, p95_ms=28.0)])
+    baseline = with_network(payload(standard_points()), [net_point(64, p95_ms=20.0)])
+    assert run_gate(tmp_path, fresh, baseline) == 0
+
+
+def test_network_p95_normalized_by_machine_speed(tmp_path):
+    # The fresh run's p95 doubled — but its anchor throughput halved too,
+    # so the machine is simply slower and the normalized latency is flat.
+    fresh = with_network(
+        payload(standard_points(anchor=50.0, sharded=100.0)),
+        [net_point(64, p95_ms=40.0, txn_per_s=150.0)],
+    )
+    baseline = with_network(
+        payload(standard_points(anchor=100.0, sharded=200.0)),
+        [net_point(64, p95_ms=20.0, txn_per_s=300.0)],
+    )
+    assert run_gate(tmp_path, fresh, baseline) == 0
+
+
+def test_network_throughput_regression_fails(tmp_path, capsys):
+    fresh = with_network(
+        payload(standard_points()), [net_point(64, txn_per_s=150.0)]
+    )
+    baseline = with_network(
+        payload(standard_points()), [net_point(64, txn_per_s=300.0)]
+    )
+    assert run_gate(tmp_path, fresh, baseline) == 1
+    assert "throughput regressed" in capsys.readouterr().out
+
+
+def test_network_scale_mismatch_fails(tmp_path, capsys):
+    fresh = with_network(payload(standard_points()), [net_point(64)], scale="smoke")
+    baseline = with_network(
+        payload(standard_points()), [net_point(64)], scale="default"
+    )
+    assert run_gate(tmp_path, fresh, baseline) == 1
+    assert "network scale mismatch" in capsys.readouterr().out
+
+
+def test_network_workload_mismatch_fails(tmp_path, capsys):
+    other = dict(NET_WORKLOAD, num_flights=99)
+    fresh = with_network(
+        payload(standard_points()), [net_point(64, workload=other)]
+    )
+    baseline = with_network(payload(standard_points()), [net_point(64)])
+    assert run_gate(tmp_path, fresh, baseline) == 1
+    assert "workload mismatch" in capsys.readouterr().out
+
+
+def test_network_points_count_toward_require_points(tmp_path):
+    fresh = with_network(payload(standard_points()), [net_point(64)])
+    baseline = with_network(payload(standard_points()), [net_point(64)])
+    assert run_gate(tmp_path, fresh, baseline, "--require-points", "4") == 0
+    assert run_gate(tmp_path, fresh, baseline, "--require-points", "5") == 1
+
+
+def test_unknown_keys_do_not_trip_identity_or_comparison(tmp_path):
+    # Future fields in both sections — per-point or per-file — must be
+    # ignored: the format can grow without invalidating old baselines.
+    def decorate(data: dict) -> dict:
+        for result in data["results"]:
+            result["p999_ms"] = 1.0
+            result["flux_capacitance"] = "1.21GW"
+        for result in data["network"]["results"]:
+            result["jitter_ms"] = 0.5
+        data["someday"] = {"more": "sections"}
+        return data
+
+    fresh = decorate(
+        with_network(payload(standard_points()), [net_point(64)])
+    )
+    baseline = with_network(payload(standard_points()), [net_point(64)])
+    assert run_gate(tmp_path, fresh, baseline) == 0
+    assert run_gate(tmp_path, baseline, fresh) == 0
+
+
+def test_absolute_mode_compares_raw_network_numbers(tmp_path, capsys):
+    # No anchors anywhere: --absolute still gates the network points on
+    # their raw milliseconds and txn/s.
+    fresh = with_network(
+        payload([point(4, "thread", False, 200.0)]),
+        [net_point(64, p95_ms=50.0)],
+    )
+    baseline = with_network(
+        payload([point(4, "thread", False, 200.0)]),
+        [net_point(64, p95_ms=20.0)],
+    )
+    assert run_gate(tmp_path, fresh, baseline, "--absolute") == 1
+    assert "p95 latency grew" in capsys.readouterr().out

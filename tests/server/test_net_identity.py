@@ -1,0 +1,171 @@
+"""Network-vs-in-process decision identity.
+
+The network layer's core claim: putting the server on a socket changes
+*transport*, never *semantics*.  A seeded Figure 7 entangled workload
+driven through real TCP connections must produce — replayed in the
+writer's admission order through the plain synchronous API — the exact
+same accept/reject decisions, the same final store state, and the same
+deterministic statistics counters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import (
+    NetClient,
+    NetworkServer,
+    QuantumConfig,
+    QuantumDatabase,
+    format_transaction,
+)
+from repro.workloads.arrival_orders import ArrivalOrder
+from repro.workloads.entangled_workload import generate_workload
+from repro.workloads.flights import FlightDatabaseSpec, build_flight_database
+
+SPEC = FlightDatabaseSpec(num_flights=6, rows_per_flight=4)
+
+#: Statistics sections that must be invariant under transport.  (The
+#: ``admission.``/``server.`` sections legitimately differ: group-commit
+#: batch sizes depend on arrival timing, which sockets change.)
+DETERMINISTIC_PREFIXES = ("state.", "cache.", "partitions.")
+
+#: Batching counters measure *how* arrivals were grouped, not what was
+#: decided — the server admits through ``commit_batch`` while the replay
+#: calls ``execute`` one by one, so these two differ by construction.
+TRANSPORT_SHAPED = {"state.batches", "state.batch_transactions"}
+
+
+def make_qdb(k: int = 8) -> QuantumDatabase:
+    return QuantumDatabase(build_flight_database(SPEC), QuantumConfig(k=k))
+
+
+def record_admission_order(qdb: QuantumDatabase) -> list:
+    """Wrap ``commit_batch`` so the test sees the writer's admission order."""
+    admitted: list = []
+    original = qdb.commit_batch
+
+    def recording(transactions, **kwargs):
+        admitted.extend(transactions)
+        return original(transactions, **kwargs)
+
+    qdb.commit_batch = recording  # type: ignore[method-assign]
+    return admitted
+
+
+def deterministic_stats(report: dict) -> dict:
+    return {
+        key: value
+        for key, value in report.items()
+        if key.startswith(DETERMINISTIC_PREFIXES) and key not in TRANSPORT_SHAPED
+    }
+
+
+async def drive_over_tcp(workload, *, connections: int, seed_note: str):
+    """Run the workload through real sockets; return the evidence bundle."""
+    qdb = make_qdb()
+    admitted = record_admission_order(qdb)
+    decisions_by_client: dict[str, bool] = {}
+    async with NetworkServer(qdb) as net:
+        clients = [
+            await NetClient.connect("127.0.0.1", net.port, client=f"conn{i}")
+            for i in range(connections)
+        ]
+
+        async def drive(client, stream):
+            for transaction in stream:
+                result = await client.commit(
+                    format_transaction(transaction),
+                    client=transaction.client,
+                    partner=transaction.partner,
+                )
+                decisions_by_client[transaction.client] = result.committed
+
+        streams = [
+            list(workload.transactions)[i::connections]
+            for i in range(connections)
+        ]
+        await asyncio.gather(
+            *(drive(client, stream) for client, stream in zip(clients, streams))
+        )
+        grounded = await net.server.ground_all()
+        for client in clients:
+            await client.close()
+    # Decisions in the exact order the single writer admitted them.
+    decisions = [decisions_by_client[t.client] for t in admitted]
+    snapshot = qdb.database.snapshot()
+    stats = deterministic_stats(qdb.statistics_report())
+    qdb.close()
+    assert len(admitted) == len(workload.transactions), seed_note
+    return admitted, decisions, len(grounded), snapshot, stats
+
+
+def replay_in_process(admitted):
+    """Feed the recorded admission order through the synchronous API."""
+    qdb = make_qdb()
+    decisions = []
+    for transaction in admitted:
+        result = qdb.execute(
+            format_transaction(transaction),
+            client=transaction.client,
+            partner=transaction.partner,
+        )
+        decisions.append(result.committed)
+    grounded = qdb.ground_all()
+    snapshot = qdb.database.snapshot()
+    stats = deterministic_stats(qdb.statistics_report())
+    qdb.close()
+    return decisions, len(grounded), snapshot, stats
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+@pytest.mark.parametrize("connections", [1, 8])
+def test_tcp_decisions_identical_to_in_process_replay(seed, connections):
+    workload = generate_workload(SPEC, ArrivalOrder.RANDOM, seed=seed)
+
+    async def main():
+        return await drive_over_tcp(
+            workload,
+            connections=connections,
+            seed_note=f"seed={seed} connections={connections}",
+        )
+
+    admitted, net_decisions, net_grounded, net_snapshot, net_stats = (
+        asyncio.run(asyncio.wait_for(main(), timeout=120))
+    )
+    sync_decisions, sync_grounded, sync_snapshot, sync_stats = (
+        replay_in_process(admitted)
+    )
+    # Bit-identical decisions in admission order ...
+    assert net_decisions == sync_decisions
+    # ... the same grounding outcome ...
+    assert net_grounded == sync_grounded
+    # ... the same final extensional store, row for row ...
+    assert net_snapshot == sync_snapshot
+    # ... and the same deterministic statistics counters.
+    assert net_stats == sync_stats
+    # The comparison is not vacuous: the workload really ran, bookings
+    # really landed, and entangled pairs really coordinated.
+    assert any(net_decisions)
+    assert net_snapshot["Bookings"], "no booking reached the store"
+    assert net_stats.get("state.admitted", 0) > 0
+
+
+def test_wire_marshalling_round_trips_entanglement():
+    """``format_transaction`` + client/partner kwargs (what the TCP client
+    sends) reconstruct a transaction the entanglement registry treats
+    exactly like the original object."""
+    from repro.core.parser import parse_transaction
+
+    workload = generate_workload(SPEC, ArrivalOrder.IN_ORDER, seed=0)
+    for transaction in workload.transactions:
+        rebuilt = parse_transaction(
+            format_transaction(transaction),
+            client=transaction.client,
+            partner=transaction.partner,
+        )
+        assert rebuilt.client == transaction.client
+        assert rebuilt.partner == transaction.partner
+        assert format_transaction(rebuilt) == format_transaction(transaction)

@@ -1,0 +1,271 @@
+"""Property and fuzz tests for the framed wire protocol codec.
+
+The codec (:mod:`repro.server.protocol`) is pure — bytes in, messages
+out — so these tests hammer it without a running server: round-trips for
+every opcode, arbitrary read-boundary splits (the decoder must reassemble
+frames fed one byte at a time exactly as fed all at once), and hostile
+inputs (truncated frames, garbage bytes, oversized length declarations)
+that must produce a *typed* error, never an unhandled exception.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import (
+    FrameCorrupt,
+    FrameTooLarge,
+    ProtocolError,
+    QuantumError,
+    SessionBackpressure,
+    TenantBackpressure,
+)
+from repro.server.protocol import (
+    ERROR_CODES,
+    HEADER,
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    Opcode,
+    decode_payload,
+    encode_frame,
+    error_code_for,
+    error_frame,
+    exception_for,
+    result_frame,
+)
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+#: JSON-safe scalar values.
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.text(max_size=40),
+)
+
+#: Shallow JSON-safe values (scalars, lists, dicts) for message fields.
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=10), children, max_size=4),
+    ),
+    max_leaves=10,
+)
+
+#: Arbitrary protocol messages: a valid opcode plus arbitrary fields.
+messages = st.builds(
+    lambda op, fields: {**fields, "op": op.value},
+    st.sampled_from(list(Opcode)),
+    st.dictionaries(
+        st.text(min_size=1, max_size=10).filter(lambda k: k != "op"),
+        json_values,
+        max_size=5,
+    ),
+)
+
+
+def chunked(data: bytes, cut_points: list[int]) -> list[bytes]:
+    """Split ``data`` at the given sorted positions."""
+    chunks, start = [], 0
+    for point in sorted(set(cut_points)):
+        chunks.append(data[start:point])
+        start = point
+    chunks.append(data[start:])
+    return [c for c in chunks if c]
+
+
+# ---------------------------------------------------------------------------
+# Round trips
+# ---------------------------------------------------------------------------
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("op", list(Opcode))
+    def test_every_opcode_round_trips(self, op):
+        message = {"op": op.value, "id": 7, "payload": ["x", 1, None]}
+        frames = FrameDecoder().feed(encode_frame(message))
+        assert frames == [message]
+
+    @given(message=messages)
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_messages_round_trip(self, message):
+        frames = FrameDecoder().feed(encode_frame(message))
+        assert frames == [message]
+
+    @given(batch=st.lists(messages, min_size=1, max_size=6))
+    @settings(max_examples=100, deadline=None)
+    def test_concatenated_frames_round_trip(self, batch):
+        stream = b"".join(encode_frame(m) for m in batch)
+        assert FrameDecoder().feed(stream) == batch
+
+
+class TestReadBoundarySplits:
+    """The decoder must be insensitive to how the byte stream is chunked."""
+
+    @given(
+        batch=st.lists(messages, min_size=1, max_size=4),
+        data=st.data(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_arbitrary_splits(self, batch, data):
+        stream = b"".join(encode_frame(m) for m in batch)
+        cuts = data.draw(
+            st.lists(
+                st.integers(min_value=1, max_value=max(1, len(stream) - 1)),
+                max_size=8,
+            )
+        )
+        decoder = FrameDecoder()
+        received = []
+        for chunk in chunked(stream, cuts):
+            received.extend(decoder.feed(chunk))
+        assert received == batch
+        assert decoder.buffered == 0
+
+    def test_one_byte_at_a_time(self):
+        message = {"op": "commit", "id": 1, "text": "-A(?x) :-1 A(?x)"}
+        stream = encode_frame(message)
+        decoder = FrameDecoder()
+        received = []
+        for i in range(len(stream)):
+            received.extend(decoder.feed(stream[i : i + 1]))
+            if i < len(stream) - 1:
+                assert received == []
+                assert decoder.buffered == i + 1
+        assert received == [message]
+
+    def test_half_frame_stays_buffered(self):
+        stream = encode_frame({"op": "ping", "id": 3})
+        decoder = FrameDecoder()
+        assert decoder.feed(stream[: len(stream) // 2]) == []
+        assert decoder.buffered == len(stream) // 2
+        assert decoder.feed(stream[len(stream) // 2 :]) == [
+            {"op": "ping", "id": 3}
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Hostile input
+# ---------------------------------------------------------------------------
+
+
+class TestHostileInput:
+    def test_oversized_declaration_rejected_before_payload(self):
+        decoder = FrameDecoder(max_frame_bytes=1024)
+        with pytest.raises(FrameTooLarge):
+            # Only the header arrives; the decoder must not wait for 2 GiB.
+            decoder.feed(HEADER.pack(1 << 31))
+
+    def test_oversized_payload_rejected_at_encode_time(self):
+        with pytest.raises(FrameTooLarge):
+            encode_frame(
+                {"op": "commit", "text": "x" * 200}, max_frame_bytes=64
+            )
+
+    def test_default_bound_is_one_mib(self):
+        with pytest.raises(FrameTooLarge):
+            FrameDecoder().feed(HEADER.pack(MAX_FRAME_BYTES + 1))
+        assert FrameDecoder().feed(HEADER.pack(MAX_FRAME_BYTES)) == []
+
+    @given(garbage=st.binary(min_size=0, max_size=64))
+    @settings(max_examples=200, deadline=None)
+    def test_garbage_never_escapes_typed_errors(self, garbage):
+        decoder = FrameDecoder(max_frame_bytes=4096)
+        try:
+            decoder.feed(garbage)
+        except ProtocolError:
+            pass  # typed: FrameTooLarge or FrameCorrupt
+
+    def test_non_utf8_payload_is_corrupt(self):
+        payload = b"\xff\xfe\x01"
+        with pytest.raises(FrameCorrupt):
+            FrameDecoder().feed(HEADER.pack(len(payload)) + payload)
+
+    def test_non_object_json_is_corrupt(self):
+        payload = json.dumps([1, 2, 3]).encode()
+        with pytest.raises(FrameCorrupt):
+            FrameDecoder().feed(HEADER.pack(len(payload)) + payload)
+
+    def test_unknown_opcode_is_corrupt(self):
+        payload = json.dumps({"op": "dance"}).encode()
+        with pytest.raises(FrameCorrupt):
+            FrameDecoder().feed(HEADER.pack(len(payload)) + payload)
+
+    def test_missing_opcode_is_corrupt(self):
+        payload = json.dumps({"id": 1}).encode()
+        with pytest.raises(FrameCorrupt):
+            FrameDecoder().feed(HEADER.pack(len(payload)) + payload)
+
+    def test_encode_rejects_invalid_opcode(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"op": "dance"})
+        with pytest.raises(ProtocolError):
+            encode_frame({"id": 1})
+
+    def test_encode_rejects_unserializable_message(self):
+        with pytest.raises(ProtocolError):
+            encode_frame({"op": "commit", "payload": object()})
+
+    def test_decode_payload_direct(self):
+        with pytest.raises(FrameCorrupt):
+            decode_payload(b"not json at all")
+
+
+# ---------------------------------------------------------------------------
+# Error frames
+# ---------------------------------------------------------------------------
+
+
+class TestErrorFrames:
+    def test_subclasses_precede_bases(self):
+        # The mapping is walked in order, so a subclass listed after its
+        # base would be unreachable.
+        types = [exc_type for exc_type, _ in ERROR_CODES]
+        for i, exc_type in enumerate(types):
+            for later in types[i + 1 :]:
+                assert not issubclass(later, exc_type) or later is exc_type, (
+                    f"{later.__name__} is shadowed by {exc_type.__name__}"
+                )
+
+    @pytest.mark.parametrize("exc_type,code", list(ERROR_CODES))
+    def test_codes_round_trip_to_typed_exceptions(self, exc_type, code):
+        assert error_code_for(exc_type("boom")) == code
+        rebuilt = exception_for(code, "boom")
+        assert isinstance(rebuilt, exc_type)
+        assert str(rebuilt) == "boom"
+
+    def test_tenant_before_session_backpressure(self):
+        # Both are QuantumError subclasses; the distinct rungs of the
+        # ladder must keep distinct wire codes.
+        assert error_code_for(TenantBackpressure("t")) == "tenant_backpressure"
+        assert error_code_for(SessionBackpressure("s")) == "session_backpressure"
+
+    def test_foreign_exception_maps_to_internal(self):
+        assert error_code_for(ValueError("nope")) == "internal"
+        assert isinstance(exception_for("internal", "nope"), QuantumError)
+        assert isinstance(exception_for("draining", "bye"), QuantumError)
+
+    def test_error_frame_from_exception_and_code(self):
+        frame = error_frame(9, TenantBackpressure("over quota"))
+        assert frame == {
+            "op": "error",
+            "id": 9,
+            "code": "tenant_backpressure",
+            "message": "over quota",
+        }
+        frame = error_frame(None, "draining", "bye")
+        assert frame["code"] == "draining" and frame["id"] is None
+
+    def test_result_frame_echoes_id(self):
+        frame = result_frame(42, {"pong": True})
+        assert frame == {"op": "result", "id": 42, "value": {"pong": True}}
+        # Frames are themselves encodable.
+        assert FrameDecoder().feed(encode_frame(frame)) == [frame]
