@@ -1,10 +1,12 @@
 # Developer entry points for the quantum-database reproduction.
 #
-#   make check    - tier-1 tests + smoke benchmarks + doctests + loadtest + gate
+#   make check    - tier-1 tests + smoke benchmarks + doctests + loadtest
+#                   + recovery benchmark + gate
 #   make test     - tier-1 test suite only (tests/)
 #   make smoke    - the smoke-marked benchmark subset (-m smoke)
 #   make docs     - doctest the README / architecture code blocks
 #   make loadtest - closed-loop TCP load harness at smoke scale (64 clients)
+#   make recoverbench - segmented-WAL recovery benchmark ("durability" section)
 #   make gate     - perf-regression gate: fresh BENCH_admission.json vs HEAD's
 #   make lint     - ruff lint (and format check on the gated paths)
 #   make bench    - the full benchmark suite (regenerates every figure/table)
@@ -28,9 +30,9 @@ PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 # Paths under `ruff format --check`; grows as files are normalized.
 FORMAT_PATHS = src/repro/sharding/backend.py scripts
 
-.PHONY: check test smoke docs loadtest gate lint bench
+.PHONY: check test smoke docs loadtest recoverbench gate lint bench
 
-check: test smoke docs loadtest gate
+check: test smoke docs loadtest recoverbench gate
 
 test:
 	$(PYTEST) -x -q tests
@@ -49,10 +51,19 @@ docs:
 loadtest:
 	PYTHONPATH=src $(PYTHON) scripts/load_client.py --clients 64
 
-# Depends on smoke so the gate always compares a freshly emitted
-# BENCH_admission.json, never a stale working-tree copy (and `make -j`
-# cannot run the two out of order).
-gate: smoke
+# Durability engine benchmark: twin churn workloads (legacy monolithic
+# log vs. segmented WAL), checkpoint-pause comparison, compaction reclaim
+# and a timed cold recovery — merged into BENCH_admission.json under
+# "durability" for the gate.  Depends on smoke because both emitters
+# read-modify-write the same JSON file (`make -j` must not interleave
+# them).
+recoverbench: smoke
+	$(PYTEST) -q benchmarks/test_recovery.py -m recovery
+
+# Depends on smoke + recoverbench so the gate always compares a freshly
+# emitted BENCH_admission.json — every section regenerated, never a stale
+# working-tree copy (and `make -j` cannot run them out of order).
+gate: smoke recoverbench
 	$(PYTHON) scripts/bench_gate.py
 
 lint:

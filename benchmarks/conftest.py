@@ -23,6 +23,11 @@ def pytest_configure(config) -> None:
         "markers",
         "smoke: fast benchmark subset run by `make check` (select with -m smoke)",
     )
+    config.addinivalue_line(
+        "markers",
+        "recovery: durability/recovery benchmark run by `make recoverbench` "
+        "(select with -m recovery; excluded from -m smoke)",
+    )
 
 
 @pytest.fixture(scope="session")

@@ -147,9 +147,9 @@ def _emit_json(
     so the committed baseline must be a smoke run too.
 
     Read-modify-write: sections owned by other benchmarks (the TCP
-    latency sweep under ``"network"``, emitted by
-    ``test_tcp_admission.py``) are preserved, so the emitters can run
-    in either order within one pytest session.
+    latency sweep under ``"network"``, the recovery benchmark's
+    ``"durability"`` section) are preserved, so the emitters can run
+    in any order across pytest sessions.
     """
     baseline = results[(1, "unsharded", False)]
     sharded = [r for key, r in results.items() if key[0] > 1]
@@ -190,8 +190,9 @@ def _emit_json(
     }
     if BENCH_JSON.exists():
         previous = json.loads(BENCH_JSON.read_text())
-        if "network" in previous:
-            payload["network"] = previous["network"]
+        for section in ("network", "durability"):
+            if section in previous:
+                payload[section] = previous[section]
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
 
 

@@ -34,6 +34,16 @@ path regressed:
   keys in any result are ignored, so the format can keep growing without
   tripping older baselines.
 
+* **durability regression** — the ``"durability"`` section (emitted by
+  ``make recoverbench``, the segmented-WAL recovery benchmark) carries
+  cold-restart recovery time and the max delta-checkpoint pause.  Both
+  gate with the same anchor normalization as the latency points and fail
+  beyond ``DURABILITY_TOLERANCE`` (50%); additionally the fresh run must
+  show compaction actually reclaiming bytes and its delta checkpoint
+  pause staying below the legacy full-snapshot fold it replaces — the
+  two structural claims of the segmented engine, gated so they cannot
+  silently rot.
+
 Sweep points present on only one side are reported but never fail the
 gate: the grid may legitimately grow (a new backend) or shrink across PRs.
 Runs with different workload scales (``"smoke"`` for ``-m smoke`` runs,
@@ -82,6 +92,12 @@ SHIPPED_TOLERANCE = 0.75
 #: so the band is wider than the throughput default — but a latency
 #: doubling still fails.
 LATENCY_TOLERANCE = 0.50
+
+#: Maximum tolerated relative growth of the durability points' recovery
+#: time and max delta-checkpoint pause (anchor-normalized, like the
+#: latency points).  Single-digit-millisecond pauses are scheduling-noisy
+#: on shared CI boxes, so the band matches the latency one.
+DURABILITY_TOLERANCE = 0.50
 
 
 def tolerance_for(key: tuple[int, str, bool], default: float) -> float:
@@ -163,25 +179,46 @@ def network_points(payload: dict) -> dict[int, dict]:
     return {int(result["clients"]): result for result in section.get("results", [])}
 
 
-def normalized_latency(
-    result: dict, points: dict[tuple[int, str, bool], dict]
+def normalized_ms(
+    value: float | None, points: dict[tuple[int, str, bool], dict]
 ) -> float | None:
-    """p95 commit latency scaled by the run's anchor throughput.
+    """A millisecond quantity scaled by the run's anchor throughput.
 
     Latency times machine speed is roughly machine-invariant, so scaling
-    each file's p95 by its own anchor ``admission_txn_per_s`` lets a slow
-    CI runner gate against a baseline recorded on a fast laptop — the same
-    trick normalized throughput uses, applied to a quantity where *higher*
-    is worse.
+    each file's milliseconds by its own anchor ``admission_txn_per_s``
+    lets a slow CI runner gate against a baseline recorded on a fast
+    laptop — the same trick normalized throughput uses, applied to
+    quantities where *higher* is worse (commit p95, recovery time,
+    checkpoint pause).
     """
     anchor = points.get(ANCHOR_KEY)
-    p95 = result.get("p95_ms")
-    if anchor is None or p95 is None:
+    if anchor is None or value is None:
         return None
     speed = float(anchor["admission_txn_per_s"])
     if speed <= 0:
         return None
-    return float(p95) * speed
+    return float(value) * speed
+
+
+def normalized_latency(
+    result: dict, points: dict[tuple[int, str, bool], dict]
+) -> float | None:
+    """p95 commit latency scaled by the run's anchor throughput."""
+    return normalized_ms(result.get("p95_ms"), points)
+
+
+def durability_points(payload: dict) -> dict[tuple[int, int], dict]:
+    """The recovery-benchmark sweep, keyed by ``(store_rows, churn_rows)``.
+
+    Baselines written before the segmented durability engine existed have
+    no ``"durability"`` section — an empty mapping, reported as new points
+    rather than failed.
+    """
+    section = payload.get("durability") or {}
+    return {
+        (int(result["store_rows"]), int(result["churn_rows"])): result
+        for result in section.get("results", [])
+    }
 
 
 def missing_anchor(
@@ -414,11 +451,86 @@ def main(argv: list[str] | None = None) -> int:
                     f"{growth:.1%} (tolerance {LATENCY_TOLERANCE:.0%})"
                 )
 
+    # -- durability points (segmented-WAL recovery benchmark) ---------------
+    fresh_dur = durability_points(fresh)
+    base_dur = durability_points(baseline)
+    shared_dur = sorted(set(fresh_dur) & set(base_dur))
+    for key in sorted(set(base_dur) - set(fresh_dur)):
+        print(
+            f"bench gate: note — baseline durability point {key} no longer swept"
+        )
+    for key in sorted(set(fresh_dur) - set(base_dur)):
+        print(f"bench gate: note — new durability point {key} (no baseline)")
+    if shared_dur:
+        fresh_dur_scale = (fresh.get("durability") or {}).get("scale")
+        base_dur_scale = (baseline.get("durability") or {}).get("scale")
+        if fresh_dur_scale != base_dur_scale:
+            print(
+                "bench gate: FAIL — durability scale mismatch "
+                f"({base_dur_scale!r} -> {fresh_dur_scale!r}); commit the "
+                "fresh file to re-baseline"
+            )
+            return 1
+    compared_dur = 0
+    for key in shared_dur:
+        fresh_result = fresh_dur[key]
+        base_result = base_dur[key]
+        if fresh_result.get("checkpoints") != base_result.get("checkpoints"):
+            failures.append(
+                f"durability {key}: run shape diverged — checkpoints "
+                f"{base_result.get('checkpoints')} -> "
+                f"{fresh_result.get('checkpoints')}"
+            )
+            continue
+        compared_dur += 1
+        # The engine's structural claims hold in every fresh run: sealed
+        # segments keep getting reclaimed, and the delta checkpoint pause
+        # stays below the legacy full-snapshot fold it replaced.
+        if float(fresh_result.get("bytes_reclaimed", 0)) <= 0:
+            failures.append(
+                f"durability {key}: compaction reclaimed no bytes"
+            )
+        delta_pause = fresh_result.get("max_delta_pause_ms")
+        legacy_pause = fresh_result.get("legacy_pause_ms")
+        if (
+            delta_pause is not None
+            and legacy_pause is not None
+            and float(delta_pause) >= float(legacy_pause)
+        ):
+            failures.append(
+                f"durability {key}: delta checkpoint pause "
+                f"{float(delta_pause):.2f}ms is not below the legacy "
+                f"full-snapshot pause {float(legacy_pause):.2f}ms"
+            )
+        for field, label in (
+            ("recovery_ms", "recovery time"),
+            ("max_delta_pause_ms", "max delta checkpoint pause"),
+        ):
+            if args.absolute:
+                base_value = base_result.get(field)
+                fresh_value = fresh_result.get(field)
+            else:
+                base_value = normalized_ms(base_result.get(field), base_points)
+                fresh_value = normalized_ms(fresh_result.get(field), fresh_points)
+            if not base_value or not fresh_value:
+                continue
+            growth = float(fresh_value) / float(base_value) - 1.0
+            print(
+                f"bench gate: durability {key} {label} "
+                f"{float(base_value):.2f} -> {float(fresh_value):.2f} "
+                f"({growth:+.1%})"
+            )
+            if growth > DURABILITY_TOLERANCE:
+                failures.append(
+                    f"durability {key}: {label} grew {growth:.1%} "
+                    f"(tolerance {DURABILITY_TOLERANCE:.0%})"
+                )
+
     if failures:
         for failure in failures:
             print(f"bench gate: FAIL — {failure}")
         return 1
-    total_compared = len(shared) + compared_net
+    total_compared = len(shared) + compared_net + compared_dur
     if total_compared < args.require_points:
         print(
             f"bench gate: FAIL — only {total_compared} sweep points compared, "
@@ -426,8 +538,9 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 1
     print(
-        f"bench gate: OK ({len(shared)} admission points and "
-        f"{compared_net} network points within tolerance)"
+        f"bench gate: OK ({len(shared)} admission points, "
+        f"{compared_net} network points and {compared_dur} durability "
+        "points within tolerance)"
     )
     return 0
 

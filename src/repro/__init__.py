@@ -115,6 +115,7 @@ from repro.sharding import (
     ShardedPartitionManager,
     SignatureIndex,
 )
+from repro.storage import DurabilityConfig, SegmentedWriteAheadLog
 
 __version__ = "0.2.0"
 
@@ -123,6 +124,7 @@ __all__ = [
     "CheckpointPolicy",
     "CommitResult",
     "Database",
+    "DurabilityConfig",
     "EntangledResourceTransaction",
     "FileWalSink",
     "GroundingPolicy",
@@ -141,6 +143,7 @@ __all__ = [
     "ReadRequest",
     "ReproError",
     "ResourceTransaction",
+    "SegmentedWriteAheadLog",
     "SerializabilityMode",
     "ServerConfig",
     "Session",

@@ -77,6 +77,17 @@ class RecoveryError(RelationalError):
     """Write-ahead-log replay or snapshot restore failed."""
 
 
+class DurabilityError(RelationalError):
+    """The segmented durability engine was misconfigured or misused.
+
+    Raised by :mod:`repro.storage` for configuration errors (e.g. a
+    segmented :class:`~repro.storage.DurabilityConfig` without a
+    directory) and for operations the segmented engine cannot honour
+    (e.g. a delta checkpoint before any base snapshot exists).  On-disk
+    damage discovered during replay keeps raising :class:`RecoveryError`.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Logic layer
 # ---------------------------------------------------------------------------

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import itertools
+import time
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.errors import SchemaError, TransactionError, UnknownTableError
@@ -147,11 +148,20 @@ class Database:
         return {name: table.snapshot() for name, table in self._tables.items()}
 
     def checkpoint(self) -> None:
-        """Fold the WAL into one CHECKPOINT record holding a full snapshot.
+        """Checkpoint the WAL, bounding recovery replay work.
 
-        Bounds recovery replay work: after a checkpoint, recovery restores
-        the snapshot and replays only the records logged since.  The session
-        layer calls this during graceful shutdown (see
+        With the monolithic log (and for the segmented engine's periodic
+        base checkpoints) this folds the log into one record holding a full
+        snapshot — an O(store) pause.  When the attached log asks for a
+        delta checkpoint instead (:meth:`WriteAheadLog.wants_delta_checkpoint`,
+        true for :class:`repro.storage.SegmentedWriteAheadLog` between base
+        checkpoints), no snapshot is built at all: the log folds only its
+        internally tracked dirty set, so the pause is proportional to the
+        churn since the previous checkpoint, not to store size.  Either way
+        the observed pause is reported to the log for the durability
+        statistics and the recovery benchmark's pause gate.
+
+        The session layer calls this during graceful shutdown (see
         :meth:`repro.server.QuantumServer.shutdown`); long-running servers
         may also call it periodically.
 
@@ -166,7 +176,14 @@ class Database:
                 "cannot checkpoint while transactions are active: "
                 f"{sorted(self._active_transactions)}"
             )
-        self.wal.checkpoint(self.snapshot())
+        started = time.perf_counter()
+        delta = self.wal.wants_delta_checkpoint()
+        if delta:
+            self.wal.checkpoint_delta()
+        else:
+            self.wal.checkpoint(self.snapshot())
+        pause_ms = (time.perf_counter() - started) * 1000.0
+        self.wal.note_checkpoint_pause(pause_ms, delta=delta)
 
     def restore(self, snapshot: Mapping[str, Iterable[Sequence[Any]]]) -> None:
         """Replace table contents from a :meth:`snapshot` (schemas must exist)."""

@@ -18,7 +18,13 @@ from typing import Callable
 
 from repro.errors import MissingRowError, RecoveryError
 from repro.relational.database import Database
-from repro.relational.wal import LogRecordType, WriteAheadLog
+from repro.relational.wal import (
+    CHECKPOINT_TYPES,
+    SNAPSHOT_CHECKPOINT_TYPES,
+    LogRecord,
+    LogRecordType,
+    WriteAheadLog,
+)
 
 
 def recover_database(
@@ -51,18 +57,21 @@ def recover_database(
 def replay_into(database: Database, wal: WriteAheadLog) -> None:
     """Replay committed WAL records into ``database`` (redo pass).
 
-    A CHECKPOINT record restores the snapshot it carries (replacing all
-    table contents accumulated so far) and replay continues with the
-    records that follow it; :meth:`WriteAheadLog.checkpoint` guarantees at
-    most one such record, at the front of the log, so recovery work is
-    bounded by the snapshot size plus the post-checkpoint tail.
+    A CHECKPOINT or CHECKPOINT_BASE record restores the snapshot it
+    carries (replacing all table contents accumulated so far) and replay
+    continues with the records that follow it; a CHECKPOINT_DELTA record
+    applies only the per-table net row changes accumulated since the
+    previous checkpoint in the lineage (deletes before inserts, matching
+    how the dirty set was folded).  :meth:`WriteAheadLog.checkpoint`
+    guarantees at most one snapshot record, at the front of the log, so
+    recovery work is bounded by the snapshot size plus the
+    post-checkpoint tail; the segmented engine extends the same
+    invariant to a base → delta-chain → tail ordering.
     """
     committed = wal.committed_transaction_ids()
     for record in wal.records():
-        if record.record_type is LogRecordType.CHECKPOINT:
-            if record.snapshot is None:
-                raise RecoveryError("CHECKPOINT log record missing its snapshot")
-            database.restore(record.snapshot)
+        if record.record_type in CHECKPOINT_TYPES:
+            apply_checkpoint_record(database, record)
             continue
         if record.transaction_id not in committed:
             continue
@@ -70,6 +79,33 @@ def replay_into(database: Database, wal: WriteAheadLog) -> None:
             _redo_insert(database, record.table, record.values)
         elif record.record_type is LogRecordType.DELETE:
             _redo_delete(database, record.table, record.values)
+
+
+def apply_checkpoint_record(database: Database, record: LogRecord) -> None:
+    """Apply one checkpoint-lineage record to ``database``.
+
+    Shared between the monolithic replay above and the segmented engine's
+    :func:`repro.storage.recover` (which replays the lineage it selected
+    from the manifest before redoing the tail).
+    """
+    if record.record_type in SNAPSHOT_CHECKPOINT_TYPES:
+        if record.snapshot is None:
+            raise RecoveryError(
+                f"{record.record_type.value} log record missing its snapshot"
+            )
+        database.restore(record.snapshot)
+        return
+    if record.record_type is not LogRecordType.CHECKPOINT_DELTA:
+        raise RecoveryError(
+            f"{record.record_type.value} is not a checkpoint-lineage record"
+        )
+    if record.delta is None:
+        raise RecoveryError("CHECKPOINT_DELTA log record missing its delta")
+    for table_name, changes in record.delta.items():
+        for values in changes.get("delete", ()):
+            _redo_delete(database, table_name, values)
+        for values in changes.get("insert", ()):
+            _redo_insert(database, table_name, values)
 
 
 def _redo_insert(database: Database, table_name: str | None, values) -> None:

@@ -38,7 +38,16 @@ from repro.errors import RecoveryError
 
 
 class LogRecordType(enum.Enum):
-    """Kinds of WAL records."""
+    """Kinds of WAL records.
+
+    ``CHECKPOINT`` is the legacy monolithic fold (one record carrying a full
+    snapshot, the rest of the log discarded).  The segmented durability
+    engine (:mod:`repro.storage`) instead writes a *checkpoint lineage*:
+    a periodic ``CHECKPOINT_BASE`` (full snapshot) chained with
+    ``CHECKPOINT_DELTA`` records carrying only the rows changed since the
+    previous checkpoint, so the checkpoint pause is proportional to churn,
+    not store size.
+    """
 
     BEGIN = "BEGIN"
     INSERT = "INSERT"
@@ -46,6 +55,20 @@ class LogRecordType(enum.Enum):
     COMMIT = "COMMIT"
     ABORT = "ABORT"
     CHECKPOINT = "CHECKPOINT"
+    CHECKPOINT_BASE = "CHECKPOINT_BASE"
+    CHECKPOINT_DELTA = "CHECKPOINT_DELTA"
+
+
+#: Record types that restore a full snapshot during replay.  The legacy
+#: fold and the segmented engine's base checkpoints replay identically.
+SNAPSHOT_CHECKPOINT_TYPES = frozenset(
+    (LogRecordType.CHECKPOINT, LogRecordType.CHECKPOINT_BASE)
+)
+
+#: Every checkpoint-family record type (snapshot carriers plus deltas).
+CHECKPOINT_TYPES = frozenset(
+    (*SNAPSHOT_CHECKPOINT_TYPES, LogRecordType.CHECKPOINT_DELTA)
+)
 
 
 @dataclass(frozen=True)
@@ -59,8 +82,12 @@ class LogRecord:
             (0 for CHECKPOINT records, which belong to no transaction).
         table: affected table (INSERT/DELETE records only).
         values: affected row values (INSERT/DELETE records only).
-        snapshot: full extensional state (CHECKPOINT records only):
-            table name → list of row-value tuples.
+        snapshot: full extensional state (CHECKPOINT/CHECKPOINT_BASE records
+            only): table name → list of row-value tuples.
+        delta: net row changes since the previous checkpoint in the lineage
+            (CHECKPOINT_DELTA records only): table name →
+            ``{"delete": [rows gone], "insert": [rows new]}``.  Replay
+            applies the deletes before the inserts.
     """
 
     lsn: int
@@ -69,6 +96,7 @@ class LogRecord:
     table: str | None = None
     values: tuple[Any, ...] | None = None
     snapshot: Mapping[str, Sequence[Sequence[Any]]] | None = None
+    delta: Mapping[str, Mapping[str, Sequence[Sequence[Any]]]] | None = None
 
     def to_json(self) -> str:
         """Serialise the record to a JSON line (for durability tests)."""
@@ -84,6 +112,14 @@ class LogRecord:
                 name: [list(row) for row in rows]
                 for name, rows in self.snapshot.items()
             }
+        if self.delta is not None:
+            payload["delta"] = {
+                name: {
+                    op: [list(row) for row in rows]
+                    for op, rows in ops.items()
+                }
+                for name, ops in self.delta.items()
+            }
         return json.dumps(payload)
 
     @classmethod
@@ -92,6 +128,7 @@ class LogRecord:
         try:
             data = json.loads(line)
             snapshot = data.get("snapshot")
+            delta = data.get("delta")
             return cls(
                 lsn=data["lsn"],
                 record_type=LogRecordType(data["type"]),
@@ -103,6 +140,15 @@ class LogRecord:
                     for name, rows in snapshot.items()
                 }
                 if snapshot is not None
+                else None,
+                delta={
+                    name: {
+                        op: [tuple(row) for row in rows]
+                        for op, rows in ops.items()
+                    }
+                    for name, ops in delta.items()
+                }
+                if delta is not None
                 else None,
             )
         except (KeyError, ValueError, TypeError, AttributeError) as exc:
@@ -144,11 +190,20 @@ class FileWalSink(WalSink):
             the group-commit durability point survives OS crashes, not just
             process crashes.  Off by default — the reproduction's tests
             simulate crashes at process granularity.
+
+    Attributes:
+        flushes: group-commit flushes performed (one per COMMIT/ABORT
+            marker when attached to a :class:`WriteAheadLog`).
+        fsyncs: ``os.fsync`` calls performed (``fsync=True`` only).  Both
+            counters surface as ``durability.flushes`` / ``durability.fsyncs``
+            in ``statistics_report()``.
     """
 
     def __init__(self, path: str | os.PathLike, *, fsync: bool = False) -> None:
         self.path = os.fspath(path)
         self.fsync = fsync
+        self.flushes = 0
+        self.fsyncs = 0
         self._file = open(self.path, "a", encoding="utf-8")
 
     def append(self, line: str) -> None:
@@ -156,8 +211,10 @@ class FileWalSink(WalSink):
 
     def flush(self) -> None:
         self._file.flush()
+        self.flushes += 1
         if self.fsync:
             os.fsync(self._file.fileno())
+            self.fsyncs += 1
 
     def reset(self, lines: Iterable[str]) -> None:
         self._file.close()
@@ -195,6 +252,9 @@ class WriteAheadLog:
         self._next_lsn = 1
         self._lock = threading.Lock()
         self._sink = sink
+        #: Longest observed checkpoint pause in milliseconds (see
+        #: :meth:`note_checkpoint_pause`).
+        self.max_checkpoint_pause_ms = 0.0
 
     # -- stable storage -----------------------------------------------------
 
@@ -311,6 +371,39 @@ class WriteAheadLog:
         return log
 
     # -- truncation / checkpoints -------------------------------------------
+
+    def wants_delta_checkpoint(self) -> bool:
+        """True when the log would rather take a delta checkpoint.
+
+        The monolithic log only knows full-snapshot folds, so this is
+        always False here.  :class:`repro.storage.SegmentedWriteAheadLog`
+        overrides it: once a base snapshot exists (and until the configured
+        base cadence is due again) it answers True, and
+        :meth:`~repro.relational.database.Database.checkpoint` then calls
+        :meth:`checkpoint_delta` *without* building a full snapshot — that
+        skip is what makes the checkpoint pause proportional to churn.
+        """
+        return False
+
+    def checkpoint_delta(self):
+        """Write a delta checkpoint (segmented engine only)."""
+        raise NotImplementedError(
+            "delta checkpoints need the segmented durability engine "
+            "(repro.storage); the monolithic WriteAheadLog only folds full "
+            "snapshots"
+        )
+
+    def note_checkpoint_pause(self, pause_ms: float, *, delta: bool = False) -> None:
+        """Record an observed checkpoint pause (writer-blocking time).
+
+        :meth:`Database.checkpoint` measures the wall time of the whole
+        operation — including building the snapshot, the dominant cost for
+        full checkpoints — and reports it here.  The monolithic log keeps
+        only the maximum; the segmented engine additionally splits base
+        from delta pauses for the recovery benchmark's pause-bound gate.
+        """
+        if pause_ms > self.max_checkpoint_pause_ms:
+            self.max_checkpoint_pause_ms = pause_ms
 
     def truncate(self) -> None:
         """Discard all records (used after a full snapshot)."""

@@ -28,8 +28,11 @@ Design points (see ``docs/architecture.md``, "The network layer"):
 * **Graceful drain.**  On SIGTERM (or :meth:`NetworkServer.drain`): stop
   accepting connections, refuse new requests with a ``draining`` error
   frame, let in-flight requests complete, shut the session layer down
-  (which drains the admission queue and lanes and folds the WAL into a
-  checkpoint), then push a ``goodbye`` frame and close every socket.
+  (which drains the admission queue and lanes and checkpoints the WAL —
+  a full-snapshot fold on the legacy log; on the segmented engine a
+  base/delta lineage record plus one final compaction sweep before the
+  compactor thread is joined), then push a ``goodbye`` frame and close
+  every socket.
   Commits in flight at the moment of the signal keep their guarantee:
   the store and the in-memory pending set agree exactly afterwards.
 

@@ -49,6 +49,7 @@ from repro.core.quantum_state import GroundedTransaction
 from repro.core.reads import ReadMode, ReadRequest
 from repro.core.resource_transaction import ResourceTransaction
 from repro.errors import (
+    DurabilityError,
     QuantumError,
     SessionBackpressure,
     TenantBackpressure,
@@ -56,6 +57,7 @@ from repro.errors import (
 )
 from repro.relational.wal import FileWalSink
 from repro.server.session import GroundingTarget, Session
+from repro.storage import DurabilityConfig, SegmentedWriteAheadLog
 
 
 class WorkKind(enum.Enum):
@@ -184,6 +186,18 @@ class ServerConfig:
             or empty: an existing log is recovery input, so ``start()``
             refuses to overwrite it.
         wal_fsync: additionally ``fsync`` the sink at each durability point.
+        durability: selects the durability engine.  ``None`` (and
+            ``mode="legacy"``) keep today's behavior: the monolithic
+            ``wal_path`` log with full-snapshot checkpoint folds.  With
+            ``DurabilityConfig(mode="segmented", directory=...)`` the
+            server attaches a :class:`~repro.storage.SegmentedWriteAheadLog`
+            on startup (segments + manifest under the directory, delta
+            checkpoints between periodic base snapshots, a background
+            compactor with the same lifecycle discipline as the admission
+            lanes).  The directory must be fresh: an existing segmented
+            log is recovery input (``repro.storage.recover``), so
+            ``start()`` refuses to adopt over it — mirroring the
+            ``wal_path`` refusal.  Mutually exclusive with ``wal_path``.
     """
 
     max_batch: int = 64
@@ -196,6 +210,7 @@ class ServerConfig:
     checkpoint_on_shutdown: bool = True
     wal_path: str | None = None
     wal_fsync: bool = False
+    durability: DurabilityConfig | None = None
 
     def __post_init__(self) -> None:
         if self.session_quota is not None and self.session_quota < 1:
@@ -212,6 +227,16 @@ class ServerConfig:
             raise QuantumError(
                 "ServerConfig.grounding_timeout_s must be positive (or None "
                 "to wait without bound)"
+            )
+        if (
+            self.durability is not None
+            and self.durability.segmented
+            and self.wal_path is not None
+        ):
+            raise QuantumError(
+                "ServerConfig.wal_path is the legacy monolithic log; a "
+                "segmented DurabilityConfig brings its own directory — "
+                "configure one or the other, not both"
             )
 
 
@@ -243,6 +268,11 @@ class ServerStatistics:
         policy_checkpoints: checkpoints taken by the periodic policy.
         checkpoints_refused: policy checkpoints refused because a store
             transaction was still active (retried at the next boundary).
+        checkpoints_deferred: refusals that armed (or consumed) a bounded
+            retry at a later drain boundary — surfaced as
+            ``durability.checkpoint_deferred`` in ``statistics_report()``
+            so a policy that keeps losing the race is visible, never a
+            silent skip.
     """
 
     items: int = 0
@@ -265,6 +295,7 @@ class ServerStatistics:
     tenant_rejections: int = 0
     policy_checkpoints: int = 0
     checkpoints_refused: int = 0
+    checkpoints_deferred: int = 0
 
 
 class QuantumServer:
@@ -306,9 +337,11 @@ class QuantumServer:
         self._grounding_waiters: list[tuple[GroundingTarget, asyncio.Future]] = []
         self._sink: FileWalSink | None = None
         # Periodic-checkpoint bookkeeping (see CheckpointPolicy): WAL length
-        # and wall clock at the last checkpoint (or at startup).
+        # and wall clock at the last checkpoint (or at startup), plus the
+        # bounded retry budget armed when a due checkpoint gets refused.
         self._records_at_checkpoint = len(qdb.database.wal)
         self._last_checkpoint = time.monotonic()
+        self._checkpoint_retries = 0
         # Chain the grounding notification hook in front of the database's
         # own housekeeping (pending-table delete, entanglement withdrawal).
         self._chained_on_grounded = qdb.state.on_grounded
@@ -346,6 +379,27 @@ class QuantumServer:
                     "QuantumDatabase.recover) or point the server at a fresh "
                     "path instead of overwriting the durable log"
                 )
+        durability = self.config.durability
+        segmented = durability is not None and durability.segmented
+        if segmented and not isinstance(
+            self.qdb.database.wal, SegmentedWriteAheadLog
+        ):
+            # Same refusal discipline as wal_path above: adopting seeds the
+            # segments from the in-memory log, so a directory that already
+            # holds a durable segmented log is recovery input, never
+            # something to write over.
+            engine = SegmentedWriteAheadLog(durability.directory, durability)
+            try:
+                engine.adopt(self.qdb.database.wal)
+            except DurabilityError:
+                engine.close()
+                raise QuantumError(
+                    f"segment directory {durability.directory!r} already "
+                    "holds a durable log; recover from it "
+                    "(repro.storage.recover + QuantumDatabase.recover) or "
+                    "point the server at a fresh directory"
+                ) from None
+            self.qdb.database.wal = engine
         self._queue = asyncio.Queue(maxsize=self.config.queue_depth)
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.executor_workers,
@@ -356,6 +410,10 @@ class QuantumServer:
                 self.config.wal_path, fsync=self.config.wal_fsync
             )
             self.qdb.database.wal.attach_sink(self._sink)
+        if segmented and durability.compaction:
+            wal = self.qdb.database.wal
+            assert isinstance(wal, SegmentedWriteAheadLog)
+            wal.start_compactor()
         self._loop = asyncio.get_running_loop()
         self._writer_task = self._loop.create_task(
             self._writer_loop(), name="repro-admission-writer"
@@ -391,6 +449,15 @@ class QuantumServer:
         if self.config.checkpoint_on_shutdown:
             self.qdb.checkpoint()
         self.qdb.database.wal.flush()
+        wal = self.qdb.database.wal
+        if isinstance(wal, SegmentedWriteAheadLog):
+            # One deterministic final sweep (the shutdown checkpoint just
+            # superseded the pre-checkpoint segments), then stop the
+            # compactor thread with the same join discipline as the
+            # executors below.  The engine itself stays open: the database
+            # outlives the server, exactly like the legacy sink.
+            wal.compact_now()
+            wal.stop_compactor()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
         # Release the sharded database's lazily started shard executors as
@@ -624,12 +691,21 @@ class QuantumServer:
             # the next drain; without this the writer would starve them.
             await asyncio.sleep(0)
 
+    #: Drain boundaries a refused-but-due checkpoint keeps retrying at,
+    #: even if the policy itself would no longer fire (e.g. an external
+    #: fold shrank the record count below the threshold in between).
+    _CHECKPOINT_RETRY_BUDGET = 3
+
     def _maybe_checkpoint(self) -> None:
         """Run the periodic checkpoint policy at a drain boundary.
 
         Drain boundaries are writer serialization points, so normally no
-        store transaction is active; if one somehow is, the checkpoint is
-        refused (exactly as on shutdown) and retried at the next boundary.
+        store transaction is active; if one somehow is (an application
+        holding a synchronous ``db.begin()`` open across the boundary),
+        the checkpoint is refused — counted in ``checkpoints_refused``
+        *and* armed for a bounded retry at the next drain boundaries
+        (``checkpoints_deferred``), so a policy losing the race is never
+        a silent skip.
         """
         policy = self.config.checkpoint_policy
         if policy is None:
@@ -642,13 +718,20 @@ class QuantumServer:
             self._records_at_checkpoint = wal_length
         records_since = wal_length - self._records_at_checkpoint
         elapsed = time.monotonic() - self._last_checkpoint
-        if not policy.due(records_since, elapsed):
+        due = policy.due(records_since, elapsed)
+        if not due and self._checkpoint_retries <= 0:
             return
         try:
             self.qdb.checkpoint()
         except TransactionError:
             self.statistics.checkpoints_refused += 1
+            self.statistics.checkpoints_deferred += 1
+            if due:
+                self._checkpoint_retries = self._CHECKPOINT_RETRY_BUDGET
+            else:
+                self._checkpoint_retries -= 1
             return
+        self._checkpoint_retries = 0
         self.statistics.policy_checkpoints += 1
         self._records_at_checkpoint = len(self.qdb.database.wal)
         self._last_checkpoint = time.monotonic()
@@ -833,6 +916,12 @@ class QuantumServer:
         for name, value in vars(self.statistics).items():
             report[f"server.{name}"] = value
         report["server.sessions_open"] = self.session_count
+        # The durability section is the database's (engine counters or the
+        # legacy sink's); the deferred-checkpoint counter is server-side
+        # bookkeeping, folded in here where the rest of the section lives.
+        report["durability.checkpoint_deferred"] = (
+            self.statistics.checkpoints_deferred
+        )
         return report
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

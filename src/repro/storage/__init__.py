@@ -1,0 +1,42 @@
+"""The log-structured durability engine (PR 8).
+
+Segmented write-ahead logging for the relational store underneath the
+quantum database: CRC-framed records in sealed append-only segments, a
+manifest with atomic rename-based updates, a checkpoint *lineage* (a
+periodic full-snapshot ``CHECKPOINT_BASE`` chained with churn-sized
+``CHECKPOINT_DELTA`` records), and a background compactor that rewrites
+sealed segments without ever blocking the writer.  See
+``docs/architecture.md`` ("Durability engine") for the design and the
+pause-bound argument.
+
+Quickstart::
+
+    from repro.storage import DurabilityConfig, SegmentedWriteAheadLog, recover
+
+    config = DurabilityConfig(mode="segmented", directory="wal-dir")
+    db.wal = SegmentedWriteAheadLog("wal-dir", config)   # fresh store
+    ...
+    db2 = recover("wal-dir", make_schema)                # after a crash
+
+or, for a server, pass the config instead of ``wal_path``::
+
+    ServerConfig(durability=DurabilityConfig(mode="segmented", directory="wal-dir"))
+"""
+
+from repro.storage.compactor import Compactor
+from repro.storage.config import DurabilityConfig
+from repro.storage.engine import DurabilityStatistics, SegmentedWriteAheadLog
+from repro.storage.manifest import Manifest
+from repro.storage.recovery import recover
+from repro.storage.segment import LogSegment, SegmentWriter
+
+__all__ = [
+    "Compactor",
+    "DurabilityConfig",
+    "DurabilityStatistics",
+    "LogSegment",
+    "Manifest",
+    "SegmentWriter",
+    "SegmentedWriteAheadLog",
+    "recover",
+]

@@ -1,0 +1,69 @@
+"""The background compactor: reclaims sealed segments, never blocks writes.
+
+Same lifecycle discipline as the admission lanes
+(:class:`repro.sharding.admission_lane.AdmissionLane`): one daemon worker
+thread, started eagerly, stopped by an explicit ``close()`` that joins
+the thread.  The worker sleeps on an event that the engine sets whenever
+a segment is sealed or a checkpoint lands (plus a periodic wake-up as a
+backstop), then runs :meth:`SegmentedWriteAheadLog.compact_once` until no
+sealed segment is eligible.  All file rewriting happens off the writer's
+lock — the single point of contact is the atomic manifest swap.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class Compactor:
+    """Worker thread driving an engine's sealed-segment compaction.
+
+    Args:
+        engine: the :class:`~repro.storage.engine.SegmentedWriteAheadLog`
+            to compact (the compactor registers itself as the engine's
+            trigger target).
+        interval_s: idle wake-up period; explicit triggers (seal,
+            checkpoint) wake the worker immediately.
+    """
+
+    def __init__(self, engine, *, interval_s: float = 0.05) -> None:
+        self._engine = engine
+        self._interval_s = interval_s
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        #: Last unexpected exception from a compaction pass (the thread
+        #: survives it; surfaced for tests and debugging).
+        self.last_error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run,
+            name="repro-wal-compactor",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def trigger(self) -> None:
+        """Wake the worker now (called at seals and checkpoints)."""
+        self._wake.set()
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self._wake.wait(self._interval_s)
+            self._wake.clear()
+            if self._stop.is_set():
+                return
+            try:
+                while self._engine.compact_once():
+                    pass
+            except Exception as exc:  # noqa: BLE001 - must not kill the thread
+                # Compaction is an optimization: a failed pass leaves the
+                # (larger but consistent) log in place, so record and retry
+                # at the next wake-up rather than crash the server.
+                self.last_error = exc
+
+    def close(self) -> None:
+        """Stop the worker after its current pass (idempotent)."""
+        if not self._thread.is_alive():
+            return
+        self._stop.set()
+        self._wake.set()
+        self._thread.join()

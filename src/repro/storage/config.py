@@ -1,0 +1,90 @@
+"""Configuration of the durability engine (segmented vs. legacy)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DurabilityError
+
+#: Durability modes selectable through :class:`DurabilityConfig`.
+MODES = ("segmented", "legacy")
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """How the store makes its write-ahead log durable.
+
+    ``mode="legacy"`` keeps the monolithic JSON-lines log (one file, one
+    full-snapshot CHECKPOINT fold) — byte-compatible with every log
+    written before the segmented engine existed, so old on-disk logs stay
+    recoverable.  ``mode="segmented"`` switches to the log-structured
+    engine (:class:`repro.storage.SegmentedWriteAheadLog`): CRC-framed
+    records in sealed segments under ``directory``, a manifest with
+    atomic rename-based updates, delta checkpoints whose pause is
+    proportional to churn rather than store size, and background
+    compaction of sealed segments.
+
+    Attributes:
+        mode: ``"segmented"`` or ``"legacy"``.
+        directory: segment/manifest directory (segmented mode only; the
+            directory is created if missing).
+        segment_max_bytes: seal the live segment once it reaches this many
+            bytes of framed records.
+        segment_max_records: seal the live segment once it holds this many
+            records.
+        base_interval: number of delta checkpoints taken between full
+            ``CHECKPOINT_BASE`` snapshots.  Larger values keep checkpoint
+            pauses small for longer at the cost of a longer delta chain to
+            replay on recovery.
+        fsync: ``os.fsync`` the live segment at every group-commit flush
+            (and the manifest at every update), so durability survives OS
+            crashes, not just process crashes.  Off by default, matching
+            :class:`~repro.relational.wal.FileWalSink`.
+        compaction: run the background compactor thread while a server
+            owns the engine (synchronous ``compact_now()`` remains
+            available either way).
+        compaction_interval_s: how often the idle compactor wakes to look
+            for reclaimable sealed segments (it is also triggered
+            explicitly at every seal and checkpoint).
+    """
+
+    mode: str = "legacy"
+    directory: str | None = None
+    segment_max_bytes: int = 256 * 1024
+    segment_max_records: int = 512
+    base_interval: int = 8
+    fsync: bool = False
+    compaction: bool = True
+    compaction_interval_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise DurabilityError(
+                f"unknown durability mode {self.mode!r}; expected one of {MODES}"
+            )
+        if self.mode == "segmented" and not self.directory:
+            raise DurabilityError(
+                "DurabilityConfig(mode='segmented') needs a directory for "
+                "its segments and manifest"
+            )
+        if self.mode == "legacy" and self.directory:
+            raise DurabilityError(
+                "DurabilityConfig(mode='legacy') uses a single log file "
+                "(ServerConfig.wal_path), not a segment directory"
+            )
+        if self.segment_max_bytes < 1 or self.segment_max_records < 1:
+            raise DurabilityError(
+                "segment_max_bytes and segment_max_records must be at least 1"
+            )
+        if self.base_interval < 1:
+            raise DurabilityError(
+                "base_interval must be at least 1 (delta checkpoints between "
+                "base snapshots)"
+            )
+        if self.compaction_interval_s <= 0:
+            raise DurabilityError("compaction_interval_s must be positive")
+
+    @property
+    def segmented(self) -> bool:
+        """True in segmented mode."""
+        return self.mode == "segmented"

@@ -236,16 +236,9 @@ class TestCheckpoint:
         assert recovered.state.is_pending(result.transaction_id)
 
     def test_group_commit_flushes_sink_per_commit_marker(self, tmp_path):
-        class CountingSink(FileWalSink):
-            def __init__(self, path):
-                super().__init__(path)
-                self.flushes = 0
-
-            def flush(self):
-                self.flushes += 1
-                super().flush()
-
-        sink = CountingSink(tmp_path / "wal.jsonl")
+        # FileWalSink counts its own flushes now (surfaced as
+        # durability.flushes in statistics_report).
+        sink = FileWalSink(tmp_path / "wal.jsonl")
         database = make_schema()
         database.wal.attach_sink(sink)
         flushes_after_attach = sink.flushes

@@ -376,3 +376,159 @@ def test_absolute_mode_compares_raw_network_numbers(tmp_path, capsys):
     )
     assert run_gate(tmp_path, fresh, baseline, "--absolute") == 1
     assert "p95 latency grew" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# Durability points: segmented-WAL recovery benchmark
+# ---------------------------------------------------------------------------
+
+
+def dur_point(
+    store_rows: int = 4000,
+    churn_rows: int = 100,
+    *,
+    checkpoints: int = 7,
+    recovery_ms: float = 40.0,
+    delta_pause_ms: float = 1.5,
+    legacy_pause_ms: float = 30.0,
+    bytes_reclaimed: int = 500_000,
+) -> dict:
+    return {
+        "store_rows": store_rows,
+        "churn_rows": churn_rows,
+        "checkpoints": checkpoints,
+        "recovery_ms": recovery_ms,
+        "max_delta_pause_ms": delta_pause_ms,
+        "base_pause_ms": legacy_pause_ms,
+        "legacy_pause_ms": legacy_pause_ms,
+        "bytes_reclaimed": bytes_reclaimed,
+        "segments_sealed": 10,
+        "compactions": 8,
+    }
+
+
+def with_durability(base: dict, points: list[dict], *, scale: str = "default") -> dict:
+    data = dict(base)
+    data["durability"] = {"scale": scale, "results": points}
+    return data
+
+
+def test_durability_clean_comparison(tmp_path, capsys):
+    fresh = with_durability(payload(standard_points()), [dur_point()])
+    baseline = with_durability(payload(standard_points()), [dur_point()])
+    assert run_gate(tmp_path, fresh, baseline) == 0
+    assert "1 durability points" in capsys.readouterr().out
+
+
+def test_durability_section_absent_from_baseline_is_a_note(tmp_path, capsys):
+    # Pre-engine baselines must keep gating cleanly: the fresh durability
+    # point is reported as new, never failed.
+    fresh = with_durability(payload(standard_points()), [dur_point()])
+    baseline = payload(standard_points())
+    assert run_gate(tmp_path, fresh, baseline) == 0
+    assert "new durability point (4000, 100)" in capsys.readouterr().out
+
+
+def test_durability_shape_divergence_fails(tmp_path, capsys):
+    fresh = with_durability(payload(standard_points()), [dur_point(checkpoints=9)])
+    baseline = with_durability(payload(standard_points()), [dur_point()])
+    assert run_gate(tmp_path, fresh, baseline) == 1
+    assert "run shape diverged" in capsys.readouterr().out
+
+
+def test_durability_recovery_time_growth_beyond_tolerance_fails(tmp_path, capsys):
+    fresh = with_durability(
+        payload(standard_points()), [dur_point(recovery_ms=64.0)]
+    )
+    baseline = with_durability(
+        payload(standard_points()), [dur_point(recovery_ms=40.0)]
+    )
+    assert run_gate(tmp_path, fresh, baseline) == 1
+    assert "recovery time grew" in capsys.readouterr().out
+
+
+def test_durability_pause_growth_beyond_tolerance_fails(tmp_path, capsys):
+    fresh = with_durability(
+        payload(standard_points()), [dur_point(delta_pause_ms=2.4)]
+    )
+    baseline = with_durability(
+        payload(standard_points()), [dur_point(delta_pause_ms=1.5)]
+    )
+    assert run_gate(tmp_path, fresh, baseline) == 1
+    assert "max delta checkpoint pause grew" in capsys.readouterr().out
+
+
+def test_durability_growth_within_tolerance_passes(tmp_path):
+    fresh = with_durability(
+        payload(standard_points()),
+        [dur_point(recovery_ms=55.0, delta_pause_ms=2.0)],
+    )
+    baseline = with_durability(
+        payload(standard_points()),
+        [dur_point(recovery_ms=40.0, delta_pause_ms=1.5)],
+    )
+    assert run_gate(tmp_path, fresh, baseline) == 0
+
+
+def test_durability_normalized_by_machine_speed(tmp_path):
+    # Recovery took twice as long — on a machine whose anchor throughput
+    # halved.  Normalized, nothing regressed.
+    fresh = with_durability(
+        payload(standard_points(anchor=50.0, sharded=100.0)),
+        [dur_point(recovery_ms=80.0, delta_pause_ms=3.0)],
+    )
+    baseline = with_durability(
+        payload(standard_points(anchor=100.0, sharded=200.0)),
+        [dur_point(recovery_ms=40.0, delta_pause_ms=1.5)],
+    )
+    assert run_gate(tmp_path, fresh, baseline) == 0
+
+
+def test_durability_delta_pause_must_beat_legacy_fold(tmp_path, capsys):
+    # Even with an identical baseline, a fresh run whose delta pause
+    # reaches the legacy full-snapshot pause fails: the engine's whole
+    # point is the pause being proportional to churn, not store size.
+    degenerate = dur_point(delta_pause_ms=30.0, legacy_pause_ms=30.0)
+    fresh = with_durability(payload(standard_points()), [degenerate])
+    baseline = with_durability(payload(standard_points()), [degenerate])
+    assert run_gate(tmp_path, fresh, baseline) == 1
+    assert "not below the legacy full-snapshot pause" in capsys.readouterr().out
+
+
+def test_durability_zero_reclaim_fails(tmp_path, capsys):
+    broken = dur_point(bytes_reclaimed=0)
+    fresh = with_durability(payload(standard_points()), [broken])
+    baseline = with_durability(payload(standard_points()), [dur_point()])
+    assert run_gate(tmp_path, fresh, baseline) == 1
+    assert "compaction reclaimed no bytes" in capsys.readouterr().out
+
+
+def test_durability_scale_mismatch_fails(tmp_path, capsys):
+    fresh = with_durability(
+        payload(standard_points()), [dur_point()], scale="default"
+    )
+    baseline = with_durability(
+        payload(standard_points()), [dur_point()], scale="paper"
+    )
+    assert run_gate(tmp_path, fresh, baseline) == 1
+    assert "durability scale mismatch" in capsys.readouterr().out
+
+
+def test_durability_points_count_toward_require_points(tmp_path):
+    fresh = with_durability(payload(standard_points()), [dur_point()])
+    baseline = with_durability(payload(standard_points()), [dur_point()])
+    assert run_gate(tmp_path, fresh, baseline, "--require-points", "4") == 0
+    assert run_gate(tmp_path, fresh, baseline, "--require-points", "5") == 1
+
+
+def test_durability_absolute_mode_compares_raw_milliseconds(tmp_path, capsys):
+    fresh = with_durability(
+        payload([point(4, "thread", False, 200.0)]),
+        [dur_point(recovery_ms=100.0)],
+    )
+    baseline = with_durability(
+        payload([point(4, "thread", False, 200.0)]),
+        [dur_point(recovery_ms=40.0)],
+    )
+    assert run_gate(tmp_path, fresh, baseline, "--absolute") == 1
+    assert "recovery time grew" in capsys.readouterr().out

@@ -118,6 +118,70 @@ class TestPolicy:
 
         asyncio.run(scenario())
 
+    def test_refused_checkpoint_arms_deferred_retry(self):
+        """A refusal is never a silent skip: it counts and re-arms."""
+        qdb = make_qdb()
+        config = ServerConfig(
+            checkpoint_policy=CheckpointPolicy(max_wal_records=1),
+            checkpoint_on_shutdown=False,
+        )
+        server = QuantumServer(qdb, config)
+        qdb.execute(booking("a", 100))  # fresh records: the policy is due
+        txn = qdb.database.begin()
+        txn.insert("Available", (1, "sX"))
+        server._maybe_checkpoint()
+        assert server.statistics.checkpoints_refused == 1
+        assert server.statistics.checkpoints_deferred == 1
+        assert server._checkpoint_retries == server._CHECKPOINT_RETRY_BUDGET
+        assert server.statistics_report()["durability.checkpoint_deferred"] == 1
+        txn.abort()
+
+    def test_deferred_retry_fires_even_when_no_longer_due(self):
+        """The retry runs at the next boundary even if the policy went quiet.
+
+        After the refusal an external ``qdb.checkpoint()`` folds the WAL,
+        so by the policy's own thresholds nothing is due any more — the
+        armed retry must still take the checkpoint it owed.
+        """
+        qdb = make_qdb()
+        config = ServerConfig(
+            checkpoint_policy=CheckpointPolicy(max_wal_records=1),
+            checkpoint_on_shutdown=False,
+        )
+        server = QuantumServer(qdb, config)
+        qdb.execute(booking("a", 100))
+        txn = qdb.database.begin()
+        txn.insert("Available", (1, "sX"))
+        server._maybe_checkpoint()  # refused, retry armed
+        txn.abort()
+        qdb.checkpoint()  # external fold: records_since drops to zero
+        server._maybe_checkpoint()
+        assert server.statistics.policy_checkpoints == 1
+        assert server._checkpoint_retries == 0
+
+    def test_deferred_retry_budget_is_bounded(self):
+        """A transaction held open forever exhausts the retry budget."""
+        qdb = make_qdb()
+        config = ServerConfig(
+            # Never due by its own thresholds: only armed retries attempt.
+            checkpoint_policy=CheckpointPolicy(max_wal_records=10_000),
+            checkpoint_on_shutdown=False,
+        )
+        server = QuantumServer(qdb, config)
+        txn = qdb.database.begin()
+        txn.insert("Available", (1, "sX"))
+        server._checkpoint_retries = server._CHECKPOINT_RETRY_BUDGET
+        for _ in range(server._CHECKPOINT_RETRY_BUDGET + 2):
+            server._maybe_checkpoint()
+        # One refusal per armed boundary, then the policy stops trying.
+        assert (
+            server.statistics.checkpoints_refused
+            == server.statistics.checkpoints_deferred
+            == server._CHECKPOINT_RETRY_BUDGET
+        )
+        assert server._checkpoint_retries == 0
+        txn.abort()
+
     def test_refused_while_transaction_active(self):
         async def scenario():
             qdb = make_qdb()
