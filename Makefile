@@ -1,12 +1,13 @@
 # Developer entry points for the quantum-database reproduction.
 #
 #   make check    - tier-1 tests + smoke benchmarks + doctests + loadtest
-#                   + recovery benchmark + gate
+#                   + recovery benchmark + search benchmark + gate
 #   make test     - tier-1 test suite only (tests/)
 #   make smoke    - the smoke-marked benchmark subset (-m smoke)
 #   make docs     - doctest the README / architecture code blocks
 #   make loadtest - closed-loop TCP load harness at smoke scale (64 clients)
 #   make recoverbench - segmented-WAL recovery benchmark ("durability" section)
+#   make searchbench  - admission-search strategy benchmark ("search" section)
 #   make gate     - perf-regression gate: fresh BENCH_admission.json vs HEAD's
 #   make lint     - ruff lint (and format check on the gated paths)
 #   make bench    - the full benchmark suite (regenerates every figure/table)
@@ -30,9 +31,9 @@ PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 # Paths under `ruff format --check`; grows as files are normalized.
 FORMAT_PATHS = src/repro/sharding/backend.py scripts
 
-.PHONY: check test smoke docs loadtest recoverbench gate lint bench
+.PHONY: check test smoke docs loadtest recoverbench searchbench gate lint bench
 
-check: test smoke docs loadtest recoverbench gate
+check: test smoke docs loadtest recoverbench searchbench gate
 
 test:
 	$(PYTEST) -x -q tests
@@ -60,10 +61,19 @@ loadtest:
 recoverbench: smoke
 	$(PYTEST) -q benchmarks/test_recovery.py -m recovery
 
-# Depends on smoke + recoverbench so the gate always compares a freshly
+# Admission-search strategy benchmark: branch-and-bound vs. the seed
+# backtracking searcher on the Figure 7 workload (bit-identical decisions,
+# admission-node ratio <= 0.5) plus the sampled-admission latency point —
+# merged into BENCH_admission.json under "search" for the gate.  Depends
+# on recoverbench because every emitter read-modify-writes the same JSON
+# file (`make -j` must not interleave them).
+searchbench: recoverbench
+	$(PYTEST) -q benchmarks/test_admission_search.py -m search
+
+# Depends on the whole emitter chain so the gate always compares a freshly
 # emitted BENCH_admission.json — every section regenerated, never a stale
 # working-tree copy (and `make -j` cannot run them out of order).
-gate: smoke recoverbench
+gate: smoke recoverbench searchbench
 	$(PYTHON) scripts/bench_gate.py
 
 lint:

@@ -28,6 +28,11 @@ def pytest_configure(config) -> None:
         "recovery: durability/recovery benchmark run by `make recoverbench` "
         "(select with -m recovery; excluded from -m smoke)",
     )
+    config.addinivalue_line(
+        "markers",
+        "search: admission-search strategy benchmark run by `make searchbench` "
+        "(select with -m search; excluded from -m smoke)",
+    )
 
 
 @pytest.fixture(scope="session")

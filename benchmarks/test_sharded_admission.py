@@ -148,8 +148,9 @@ def _emit_json(
 
     Read-modify-write: sections owned by other benchmarks (the TCP
     latency sweep under ``"network"``, the recovery benchmark's
-    ``"durability"`` section) are preserved, so the emitters can run
-    in any order across pytest sessions.
+    ``"durability"`` section, the admission-search strategy benchmark's
+    ``"search"`` section) are preserved, so the emitters can run in any
+    order across pytest sessions.
     """
     baseline = results[(1, "unsharded", False)]
     sharded = [r for key, r in results.items() if key[0] > 1]
@@ -190,7 +191,7 @@ def _emit_json(
     }
     if BENCH_JSON.exists():
         previous = json.loads(BENCH_JSON.read_text())
-        for section in ("network", "durability"):
+        for section in ("network", "durability", "search"):
             if section in previous:
                 payload[section] = previous[section]
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")

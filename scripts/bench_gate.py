@@ -44,6 +44,18 @@ path regressed:
   two structural claims of the segmented engine, gated so they cannot
   silently rot.
 
+* **admission-search regression** — the ``"search"`` section (emitted by
+  ``make searchbench``, the admission-search strategy benchmark) compares
+  branch-and-bound against the seed backtracking searcher.  Two claims
+  are structural and fail on every fresh run that violates them,
+  baseline or not: the strategies decided every transaction identically
+  (``decisions_match``), and bnb expanded at most
+  ``SEARCH_NODES_RATIO_BOUND`` of backtracking's admission-search nodes.
+  Against the baseline, the fast-path hit rate must not drop beyond the
+  throughput tolerance, and the sampled-admission latency — anchor-
+  normalized like every other millisecond quantity — must not grow
+  beyond ``LATENCY_TOLERANCE``.
+
 Sweep points present on only one side are reported but never fail the
 gate: the grid may legitimately grow (a new backend) or shrink across PRs.
 Runs with different workload scales (``"smoke"`` for ``-m smoke`` runs,
@@ -98,6 +110,13 @@ LATENCY_TOLERANCE = 0.50
 #: latency points).  Single-digit-millisecond pauses are scheduling-noisy
 #: on shared CI boxes, so the band matches the latency one.
 DURABILITY_TOLERANCE = 0.50
+
+#: Structural bound on the admission-search points: branch-and-bound must
+#: expand at most this fraction of the backtracking run's admission-search
+#: nodes.  Node counts are deterministic (same workload, same algorithm),
+#: so this is a hard acceptance bar, not a noise band — a fresh run above
+#: it fails even against an identical baseline.
+SEARCH_NODES_RATIO_BOUND = 0.5
 
 
 def tolerance_for(key: tuple[int, str, bool], default: float) -> float:
@@ -217,6 +236,20 @@ def durability_points(payload: dict) -> dict[tuple[int, int], dict]:
     section = payload.get("durability") or {}
     return {
         (int(result["store_rows"]), int(result["churn_rows"])): result
+        for result in section.get("results", [])
+    }
+
+
+def search_points(payload: dict) -> dict[tuple[int, int], dict]:
+    """The admission-search sweep, keyed by ``(num_flights, rows_per_flight)``.
+
+    Baselines written before the strategy subsystem existed have no
+    ``"search"`` section — an empty mapping, reported as new points rather
+    than failed.
+    """
+    section = payload.get("search") or {}
+    return {
+        (int(result["num_flights"]), int(result["rows_per_flight"])): result
         for result in section.get("results", [])
     }
 
@@ -526,11 +559,92 @@ def main(argv: list[str] | None = None) -> int:
                     f"(tolerance {DURABILITY_TOLERANCE:.0%})"
                 )
 
+    # -- admission-search points (strategy benchmark) -----------------------
+    fresh_search = search_points(fresh)
+    base_search = search_points(baseline)
+    shared_search = sorted(set(fresh_search) & set(base_search))
+    for key in sorted(set(base_search) - set(fresh_search)):
+        print(f"bench gate: note — baseline search point {key} no longer swept")
+    for key in sorted(set(fresh_search) - set(base_search)):
+        print(f"bench gate: note — new search point {key} (no baseline)")
+    if shared_search:
+        fresh_search_scale = (fresh.get("search") or {}).get("scale")
+        base_search_scale = (baseline.get("search") or {}).get("scale")
+        if fresh_search_scale != base_search_scale:
+            print(
+                "bench gate: FAIL — search scale mismatch "
+                f"({base_search_scale!r} -> {fresh_search_scale!r}); commit "
+                "the fresh file to re-baseline"
+            )
+            return 1
+    compared_search = 0
+    # The two structural claims gate on every fresh point, baseline or not:
+    # identical decisions across strategies, and the node-ratio bound.
+    for key, fresh_result in sorted(fresh_search.items()):
+        if not fresh_result.get("decisions_match", False):
+            failures.append(
+                f"search {key}: bnb and backtracking decisions diverged"
+            )
+        ratio = fresh_result.get("nodes_ratio")
+        if ratio is not None and float(ratio) > SEARCH_NODES_RATIO_BOUND:
+            failures.append(
+                f"search {key}: admission-node ratio {float(ratio):.3f} "
+                f"exceeds the {SEARCH_NODES_RATIO_BOUND} bound"
+            )
+    for key in shared_search:
+        fresh_result = fresh_search[key]
+        base_result = base_search[key]
+        for field in ("transactions", "admitted", "rejected"):
+            if fresh_result.get(field) != base_result.get(field):
+                failures.append(
+                    f"search {key}: decisions diverged — {field} "
+                    f"{base_result.get(field)} -> {fresh_result.get(field)}"
+                )
+        compared_search += 1
+        # Fast-path hit rate: a drop beyond the throughput tolerance means
+        # the per-shape dispatch stopped answering searches it used to.
+        base_rate = float(base_result.get("fastpath_hit_rate") or 0.0)
+        fresh_rate = float(fresh_result.get("fastpath_hit_rate") or 0.0)
+        if base_rate > 0:
+            drop = 1.0 - fresh_rate / base_rate
+            print(
+                f"bench gate: search {key} fastpath hit rate "
+                f"{base_rate:.3f} -> {fresh_rate:.3f} ({-drop:+.1%})"
+            )
+            if drop > args.tolerance:
+                failures.append(
+                    f"search {key}: fastpath hit rate dropped {drop:.1%} "
+                    f"(tolerance {args.tolerance:.0%})"
+                )
+        # Sampled-admission latency: anchor-normalized milliseconds, the
+        # same machine-speed trick as the network and durability points.
+        if args.absolute:
+            base_ms = base_result.get("sampled_admission_ms")
+            fresh_ms = fresh_result.get("sampled_admission_ms")
+        else:
+            base_ms = normalized_ms(
+                base_result.get("sampled_admission_ms"), base_points
+            )
+            fresh_ms = normalized_ms(
+                fresh_result.get("sampled_admission_ms"), fresh_points
+            )
+        if base_ms and fresh_ms:
+            growth = float(fresh_ms) / float(base_ms) - 1.0
+            print(
+                f"bench gate: search {key} sampled-admission latency "
+                f"{float(base_ms):.2f} -> {float(fresh_ms):.2f} ({growth:+.1%})"
+            )
+            if growth > LATENCY_TOLERANCE:
+                failures.append(
+                    f"search {key}: sampled-admission latency grew "
+                    f"{growth:.1%} (tolerance {LATENCY_TOLERANCE:.0%})"
+                )
+
     if failures:
         for failure in failures:
             print(f"bench gate: FAIL — {failure}")
         return 1
-    total_compared = len(shared) + compared_net + compared_dur
+    total_compared = len(shared) + compared_net + compared_dur + compared_search
     if total_compared < args.require_points:
         print(
             f"bench gate: FAIL — only {total_compared} sweep points compared, "
@@ -539,8 +653,8 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     print(
         f"bench gate: OK ({len(shared)} admission points, "
-        f"{compared_net} network points and {compared_dur} durability "
-        "points within tolerance)"
+        f"{compared_net} network points, {compared_dur} durability points "
+        f"and {compared_search} search points within tolerance)"
     )
     return 0
 

@@ -35,8 +35,11 @@ The two synchronous entry points applications start from:
 * :class:`QuantumConfig` — ``k`` (pending bound per partition),
   ``strategy`` (forced-grounding victim order), ``serializability``
   (STRICT/SEMANTIC), ``read_mode`` (COLLAPSE/PEEK/EXPOSE_ALL),
-  ``ground_on_partner_arrival`` and ``witness_cache`` (the fast-path
-  toggle; decisions are identical either way)::
+  ``ground_on_partner_arrival``, ``witness_cache`` (the fast-path
+  toggle; decisions are identical either way) and ``search`` (the
+  :class:`AdmissionSearchConfig` strategy selector — backtracking,
+  branch-and-bound with per-shape fast paths, or opt-in sampling;
+  every config type is also re-exported from :mod:`repro.configs`)::
 
       qdb = QuantumDatabase(config=QuantumConfig(k=8, witness_cache=True))
 
@@ -115,12 +118,14 @@ from repro.sharding import (
     ShardedPartitionManager,
     SignatureIndex,
 )
+from repro.solver.strategy import AdmissionSearchConfig, SamplingConfig
 from repro.storage import DurabilityConfig, SegmentedWriteAheadLog
 
 __version__ = "0.2.0"
 
 __all__ = [
     "AdmissionResult",
+    "AdmissionSearchConfig",
     "CheckpointPolicy",
     "CommitResult",
     "Database",
@@ -143,6 +148,7 @@ __all__ = [
     "ReadRequest",
     "ReproError",
     "ResourceTransaction",
+    "SamplingConfig",
     "SegmentedWriteAheadLog",
     "SerializabilityMode",
     "ServerConfig",

@@ -59,6 +59,7 @@ from repro.relational.database import Database
 from repro.relational.dml import Delete, Insert
 from repro.relational.planner import MYSQL_JOIN_LIMIT, PlannerConfig
 from repro.relational.schema import Column
+from repro.solver.strategy import AdmissionSearchConfig
 
 
 @dataclass(frozen=True)
@@ -129,6 +130,17 @@ class QuantumConfig:
             the lane reruns the search inline, so the decision is
             unchanged (same pure search function) and a hung worker costs
             latency, never correctness.  ``None`` waits indefinitely.
+        search: the admission-search strategy
+            (:class:`~repro.solver.strategy.AdmissionSearchConfig`).  The
+            default reproduces the seed's plain backtracking search
+            byte-for-byte; ``strategy="bnb"`` switches every admission to
+            the trail-based branch-and-bound searcher with per-shape fast
+            paths, and an explicit
+            :class:`~repro.solver.strategy.SamplingConfig` opts huge
+            partitions into the approximate estimator.  Dispatch lives
+            inside the pure ``compute_admission``, so inline admission,
+            thread lanes, and shipped process workers honor the strategy
+            bit-identically.
         planner: join-planner settings for the underlying store.
     """
 
@@ -145,6 +157,7 @@ class QuantumConfig:
     lane_queue_depth: int = 256
     lane_dispatch_timeout_s: float = 5.0
     admission_ship_timeout_s: float | None = 30.0
+    search: AdmissionSearchConfig = field(default_factory=AdmissionSearchConfig)
     planner: PlannerConfig = field(default_factory=PlannerConfig)
 
     def __post_init__(self) -> None:
@@ -215,6 +228,13 @@ class CommitResult:
         grounded: transactions whose values were fixed as a side effect of
             this submission (partner pairs, forced groundings).
         rejection_reason: populated when ``committed`` is False.
+        method: which admission search decided this submission —
+            ``"witness"``, ``"fastpath"``, ``"backtracking"``, ``"bnb"``,
+            or ``"sampled"`` (see
+            :class:`~repro.core.solution_cache.AdmissionProbe`).
+        exact: False only when the decision came from the opt-in sampling
+            estimator; an approximate accept still carries a genuine
+            witness, an approximate reject may be a false negative.
     """
 
     transaction: ResourceTransaction
@@ -222,6 +242,8 @@ class CommitResult:
     pending: bool = False
     grounded: tuple[GroundedTransaction, ...] = ()
     rejection_reason: str | None = None
+    method: str = "backtracking"
+    exact: bool = True
 
     @property
     def transaction_id(self) -> int:
@@ -252,6 +274,7 @@ class QuantumDatabase:
             witness_cache=self.config.witness_cache,
             partitions=self.config.partition_manager(),
             admission_ship_timeout_s=self.config.admission_ship_timeout_s,
+            search_config=self.config.search,
         )
         # The lane-parallel admission controller (lazily created; only with
         # admission_lanes=True on a sharded database).
@@ -331,8 +354,16 @@ class QuantumDatabase:
             entry = self.state.admit(transaction)
         except TransactionRejected as exc:
             return CommitResult(
-                transaction=transaction, committed=False, rejection_reason=str(exc)
+                transaction=transaction,
+                committed=False,
+                rejection_reason=str(exc),
+                method=self.state.cache.last_method,
+                exact=self.state.cache.last_exact,
             )
+        # Capture the decision provenance before partner groundings below
+        # run further searches on this thread.
+        method = self.state.cache.last_method
+        exact = self.state.cache.last_exact
         grounded: list[GroundedTransaction] = []
         # Forced groundings triggered by the k bound have already fired via
         # the on_grounded callback; collect the ones involving this call.
@@ -350,6 +381,8 @@ class QuantumDatabase:
             committed=True,
             pending=self.state.is_pending(transaction.transaction_id),
             grounded=tuple(grounded),
+            method=method,
+            exact=exact,
         )
 
     def commit_batch(
@@ -440,9 +473,13 @@ class QuantumDatabase:
                     transaction=transaction,
                     committed=False,
                     rejection_reason=str(exc),
+                    method=self.state.cache.last_method,
+                    exact=self.state.cache.last_exact,
                 ),
                 None,
             )
+        method = self.state.cache.last_method
+        exact = self.state.cache.last_exact
         grounded: list[GroundedTransaction] = []
         if not self.state.is_pending(transaction.transaction_id):
             record = self.state.grounded_results.get(transaction.transaction_id)
@@ -457,6 +494,8 @@ class QuantumDatabase:
                 committed=True,
                 pending=self.state.is_pending(transaction.transaction_id),
                 grounded=tuple(grounded),
+                method=method,
+                exact=exact,
             ),
             entry.sequence,
         )

@@ -52,6 +52,7 @@ from repro.core.serializability import (
 )
 from repro.core.solution_cache import AdmissionProbe, SolutionCache, Witness
 from repro.errors import (
+    AdmissionSearchExhausted,
     GroundingTimeout,
     QuantumStateError,
     TransactionRejected,
@@ -68,6 +69,7 @@ from repro.relational.dml import Delete, Insert, Statement
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sharding.backend import PlanResult
     from repro.solver.grounding import GroundingSearch
+    from repro.solver.strategy import AdmissionSearchConfig
 
 
 @dataclass(frozen=True)
@@ -397,6 +399,7 @@ class QuantumState:
         witness_cache: bool = True,
         partitions: PartitionManager | None = None,
         admission_ship_timeout_s: float | None = 30.0,
+        search_config: "AdmissionSearchConfig | None" = None,
     ) -> None:
         self.database = database
         self.policy = policy or GroundingPolicy()
@@ -407,7 +410,9 @@ class QuantumState:
         #: signature index and fans grounding plans out per shard.  Both
         #: produce bit-identical accept/reject decisions.
         self.partitions = partitions if partitions is not None else PartitionManager()
-        self.cache = SolutionCache(database, enable_witness=witness_cache)
+        self.cache = SolutionCache(
+            database, enable_witness=witness_cache, search_config=search_config
+        )
         self.statistics = QuantumStateStatistics()
         self.grounded_results: dict[int, GroundedTransaction] = {}
         self._next_sequence = 1
@@ -542,6 +547,16 @@ class QuantumState:
             self.partitions.drop_if_empty(partition)
             if not partition.pending:
                 self.cache.drop_witness(partition.partition_id)
+            if self.cache.last_exhausted_budget:
+                # The bounded search gave up undecided; reject conservatively
+                # but let the caller distinguish "budget ran out" from a
+                # proven unsatisfiability (retry with a larger budget, or
+                # force a grounding to shrink the partition).
+                raise AdmissionSearchExhausted(
+                    f"transaction #{transaction.transaction_id} rejected: the "
+                    "admission search exhausted its node budget before "
+                    "deciding satisfiability"
+                )
             raise TransactionRejected(
                 f"transaction #{transaction.transaction_id} cannot be admitted: "
                 "no consistent grounding exists"
@@ -623,6 +638,7 @@ class QuantumState:
                 database=self.database,
                 witness=base_witness,
                 enable_witness=self.cache.enable_witness,
+                search_config=self.cache.search_config,
             )
         blob = dump_payload(payload)
         self.partitions.record_admission_ship(len(blob))

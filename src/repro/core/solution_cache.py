@@ -54,6 +54,8 @@ from repro.logic.substitution import Substitution
 from repro.logic.terms import Variable
 from repro.relational.database import Database
 from repro.solver.grounding import GroundingResult, GroundingSearch
+from repro.solver.sampling import relational_atom_count, sample_find_one
+from repro.solver.strategy import AdmissionSearchConfig, dispatch_find_one
 
 #: A row-level delta: ``(table, positional row values, is_delete)``.
 Delta = tuple[str, tuple[Any, ...], bool]
@@ -105,6 +107,23 @@ class AdmissionProbe:
         witness_misses: admissions no witness could serve.
         fallback_searches: times the fast path fell back to composed-body
             work.
+        method: which search decided the probe — ``"witness"`` (extension
+            of a known-valid witness), ``"fastpath"`` (a per-shape fast
+            path), ``"backtracking"`` / ``"bnb"`` (the general search
+            under the configured strategy), or ``"sampled"`` (the opt-in
+            approximate estimator).
+        exact: False only when the decision came from the sampling
+            estimator — a sampled accept carries a genuine witness but the
+            search was not exhaustive, and a sampled reject may be a false
+            negative.  Surfaced end-to-end on the commit result.
+        exhausted_budget: the configured ``node_budget`` ran out before
+            the search decided; admission turns a rejection with this flag
+            into the typed ``AdmissionSearchExhausted`` outcome.
+        nodes: search nodes expanded by the searches this probe ran — the
+            cost of *deciding the admission*, isolated from the grounding
+            and serializability searches that share the global
+            ``search.nodes`` counter.  The strategy benchmark gates the
+            bnb/backtracking ratio of this number.
     """
 
     substitution: Substitution | None
@@ -117,6 +136,10 @@ class AdmissionProbe:
     witness_hits: int = 0
     witness_misses: int = 0
     fallback_searches: int = 0
+    method: str = "backtracking"
+    exact: bool = True
+    exhausted_budget: bool = False
+    nodes: int = 0
 
 
 def verify_solution(
@@ -164,6 +187,7 @@ def compute_admission(
     new_required: frozenset[Variable] = frozenset(),
     base_required: frozenset[Variable] = frozenset(),
     enable_witness: bool = True,
+    config: AdmissionSearchConfig | None = None,
 ) -> AdmissionProbe:
     """The witness-extension admission search as a pure function.
 
@@ -191,6 +215,11 @@ def compute_admission(
         base_required: hard variables of the partition's pending entries.
         enable_witness: mirrors ``SolutionCache.enable_witness`` so the
             miss/fallback counters stay comparable with the fast path off.
+        config: admission-search strategy selection; ``None`` (and the
+            default config) reproduce the seed's plain backtracking search
+            byte-for-byte.  Dispatch happens *here*, inside the pure
+            function, so inline admission, thread lanes, and shipped
+            process workers honor the strategy bit-identically.
     """
     counters = {
         "verifications": 0,
@@ -202,6 +231,12 @@ def compute_admission(
         "witness_misses": 0,
         "fallback_searches": 0,
     }
+    outcome = {
+        "method": config.strategy if config is not None else "backtracking",
+        "exact": True,
+        "exhausted": False,
+        "nodes": 0,
+    }
 
     def verify(formula: Formula, solution: Substitution | None) -> bool:
         if solution is None:
@@ -209,17 +244,47 @@ def compute_admission(
         counters["verifications"] += 1
         return verify_solution(database, formula, solution)
 
+    def run_find(
+        formula: Formula,
+        required: frozenset[Variable],
+        initial: Substitution | None = None,
+    ) -> GroundingResult:
+        result, method = dispatch_find_one(
+            search, config, formula, required=required, initial=initial
+        )
+        outcome["method"] = method
+        outcome["nodes"] += result.statistics.nodes
+        if result.statistics.exhausted_budget:
+            outcome["exhausted"] = True
+        return result
+
     def extend(
         base: Substitution | None, factor: Formula, required: frozenset[Variable]
     ) -> GroundingResult:
         initial = base or Substitution.empty()
-        result = search.find_one(factor, required=required, initial=initial)
+        result = run_find(factor, required, initial=initial)
         counters["extension_hits" if result.satisfiable else "extension_misses"] += 1
         return result
 
     def solve(formula: Formula, required: frozenset[Variable]) -> GroundingResult:
         counters["full_solves"] += 1
-        result = search.find_one(formula, required=required)
+        if (
+            config is not None
+            and config.sampling is not None
+            and relational_atom_count(formula) >= config.sampling.threshold
+        ):
+            # The partition is above the exact-search threshold and the
+            # caller explicitly opted into estimation: bounded seeded
+            # descents instead of an exhaustive walk.  An accept still
+            # carries a genuine witness; the decision is just not exact.
+            result = sample_find_one(
+                search, formula, required=required, sampling=config.sampling
+            )
+            outcome["method"] = "sampled"
+            outcome["exact"] = False
+            outcome["nodes"] += result.statistics.nodes
+        else:
+            result = run_find(formula, required)
         if not result.satisfiable:
             counters["failures"] += 1
         return result
@@ -228,7 +293,13 @@ def compute_admission(
         substitution: Substitution | None, *, used_witness: bool = False
     ) -> AdmissionProbe:
         return AdmissionProbe(
-            substitution=substitution, used_witness=used_witness, **counters
+            substitution=substitution,
+            used_witness=used_witness,
+            method="witness" if used_witness else outcome["method"],
+            exact=outcome["exact"],
+            exhausted_budget=outcome["exhausted"],
+            nodes=outcome["nodes"],
+            **counters,
         )
 
     if new_factor is None or new_factor is TRUE:
@@ -323,6 +394,14 @@ class SolutionCacheStatistics:
     #: Times the fast path fell back to work over the full composed body
     #: (a verification or a full grounding search).
     fallback_searches: int = 0
+    #: Admissions decided by the opt-in sampling estimator (``exact=False``
+    #: probes) — the count of approximate decisions the cache has absorbed.
+    sampled_admissions: int = 0
+    #: Search nodes expanded deciding admissions (the sum of every absorbed
+    #: probe's ``nodes``).  Unlike the global ``search.nodes`` this excludes
+    #: grounding and serializability searches, so it is the number the
+    #: admission-strategy benchmark compares across strategies.
+    admission_nodes: int = 0
 
     def composed_body_passes(self) -> int:
         """Operations that walked the whole composed body (verify + solve).
@@ -343,13 +422,23 @@ class SolutionCache:
             disabled and every admission re-verifies the composed body from
             scratch (the seed behaviour); accept/reject decisions are
             unaffected.  Used by benchmarks to measure the fast path.
+        search_config: admission-search strategy passed to every
+            :func:`compute_admission` this cache runs; ``None`` keeps the
+            seed's plain backtracking search.
     """
 
-    def __init__(self, database: Database, *, enable_witness: bool = True) -> None:
+    def __init__(
+        self,
+        database: Database,
+        *,
+        enable_witness: bool = True,
+        search_config: AdmissionSearchConfig | None = None,
+    ) -> None:
         self.database = database
         self.search = GroundingSearch(database)
         self.statistics = SolutionCacheStatistics()
         self.enable_witness = enable_witness
+        self.search_config = search_config
         self._witnesses: dict[int, Witness] = {}
         #: Per-lane statistics slices (lane id → counters).  While a thread
         #: runs inside :meth:`lane_scope` every counter lands in its lane's
@@ -386,6 +475,26 @@ class SolutionCache:
     @last_used_witness.setter
     def last_used_witness(self, value: bool) -> None:
         self._local.last_used_witness = value
+
+    @property
+    def last_method(self) -> str:
+        """Which search decided the last :meth:`ensure` on *this thread*.
+
+        Thread-local for the same reason as :attr:`last_used_witness`: the
+        admission path reads it right after ``ensure`` to stamp the commit
+        result, and concurrent lanes must never see each other's value.
+        """
+        return getattr(self._local, "last_method", "backtracking")
+
+    @property
+    def last_exact(self) -> bool:
+        """False when the last decision on this thread came from sampling."""
+        return getattr(self._local, "last_exact", True)
+
+    @property
+    def last_exhausted_budget(self) -> bool:
+        """True when the last search on this thread ran out of node budget."""
+        return getattr(self._local, "last_exhausted_budget", False)
 
     def lane_statistics(self, lane_id: int) -> SolutionCacheStatistics:
         """The (lazily created) statistics slice of one admission lane."""
@@ -609,6 +718,7 @@ class SolutionCache:
             new_required=frozenset(new_required),
             base_required=self._base_required(partition),
             enable_witness=self.enable_witness,
+            config=self.search_config,
         )
         self.absorb_probe(probe)
         if (
@@ -640,7 +750,13 @@ class SolutionCache:
         stats.witness_hits += probe.witness_hits
         stats.witness_misses += probe.witness_misses
         stats.fallback_searches += probe.fallback_searches
+        stats.admission_nodes += probe.nodes
+        if probe.method == "sampled":
+            stats.sampled_admissions += 1
         self.last_used_witness = probe.used_witness
+        self._local.last_method = probe.method
+        self._local.last_exact = probe.exact
+        self._local.last_exhausted_budget = probe.exhausted_budget
 
     @staticmethod
     def _base_required(partition: Partition) -> frozenset[Variable]:

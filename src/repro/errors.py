@@ -152,6 +152,19 @@ class TransactionRejected(QuantumError):
     """Admitting the transaction would empty the set of possible worlds."""
 
 
+class AdmissionSearchExhausted(TransactionRejected):
+    """The admission search hit its configured node budget undecided.
+
+    A typed outcome for ``AdmissionSearchConfig(node_budget=...)``: the
+    search gave up before proving satisfiability either way, so the
+    transaction is rejected *conservatively* — the invariant is never at
+    risk, but callers that want to retry with a larger budget (or force a
+    grounding) can distinguish this from a genuine unsatisfiability.
+    Subclasses :class:`TransactionRejected`, so existing handlers keep
+    working unchanged.
+    """
+
+
 class WriteRejected(QuantumError):
     """A blind write would invalidate a pending transaction's invariant."""
 

@@ -68,6 +68,12 @@ def run_quantum_entangled(
     with Timer() as timer:
         qdb.ground_all()
     result.extra["final_grounding_time"] = timer.elapsed
+    # Deterministic work counters alongside the wall-clock series: the same
+    # workload always searches the same nodes/rows, so tests comparing
+    # arrival orders can assert on these instead of timing under load.
+    report = qdb.statistics_report()
+    result.extra["search_nodes"] = report["search.nodes"]
+    result.extra["search_rows_examined"] = report["search.rows_examined"]
     result.max_pending = qdb.statistics.max_pending
     result.coordinated_users = coordinated_users_in(database, workload)
     result.max_possible = workload.max_possible_coordinations

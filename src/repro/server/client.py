@@ -55,6 +55,11 @@ class RemoteCommitResult:
     pending: bool
     rejection_reason: str | None
     grounded: tuple[dict[str, Any], ...] = ()
+    #: Which admission search decided the submission ("witness",
+    #: "fastpath", "backtracking", "bnb", or "sampled").
+    method: str = "backtracking"
+    #: False when the decision came from the opt-in sampling estimator.
+    exact: bool = True
 
     def __bool__(self) -> bool:
         return self.committed
@@ -67,6 +72,8 @@ class RemoteCommitResult:
             pending=value["pending"],
             rejection_reason=value.get("rejection_reason"),
             grounded=tuple(value.get("grounded") or ()),
+            method=value.get("method", "backtracking"),
+            exact=value.get("exact", True),
         )
 
 

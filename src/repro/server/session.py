@@ -67,6 +67,10 @@ class AdmissionResult:
             (partner pairs, ``k``-bound victims).
         rejection_reason: populated when ``committed`` is False.
         session_sequence: this session's submission counter for the commit.
+        method: which admission search decided the submission (``"witness"``,
+            ``"fastpath"``, ``"backtracking"``, ``"bnb"``, ``"sampled"``).
+        exact: False only when the decision came from the opt-in sampling
+            estimator (approximate admission).
     """
 
     transaction: ResourceTransaction
@@ -75,6 +79,8 @@ class AdmissionResult:
     grounded: tuple[GroundedTransaction, ...] = ()
     rejection_reason: str | None = None
     session_sequence: int = 0
+    method: str = "backtracking"
+    exact: bool = True
 
     @property
     def transaction_id(self) -> int:
@@ -96,6 +102,8 @@ class AdmissionResult:
             grounded=result.grounded,
             rejection_reason=result.rejection_reason,
             session_sequence=session_sequence,
+            method=result.method,
+            exact=result.exact,
         )
 
 

@@ -61,6 +61,7 @@ from repro.logic.substitution import Substitution
 from repro.relational.database import Database
 from repro.relational.schema import Column
 from repro.solver.grounding import GroundingSearch
+from repro.solver.strategy import AdmissionSearchConfig
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.quantum_state import PendingTransaction
@@ -327,6 +328,10 @@ class AdmissionPayload:
             worker's miss/fallback counters match the inline path's.
         tables: snapshots of every relation the partition or the arrival
             touches (insertion order preserved — see :class:`PlanPayload`).
+        search_config: the writer's admission-search strategy, shipped so
+            the worker dispatches through the exact same
+            ``compute_admission`` configuration — strategy selection must
+            never depend on where the search runs.
     """
 
     partition_id: int
@@ -337,6 +342,7 @@ class AdmissionPayload:
     witness_substitution: Substitution | None
     enable_witness: bool
     tables: tuple[TableSnapshot, ...]
+    search_config: AdmissionSearchConfig | None = None
 
 
 @dataclass(frozen=True)
@@ -374,6 +380,7 @@ def build_admission_payload(
     database: Database,
     witness: Witness | None,
     enable_witness: bool,
+    search_config: AdmissionSearchConfig | None = None,
     snapshot_cache: dict[str, TableSnapshot] | None = None,
 ) -> AdmissionPayload:
     """Assemble the picklable admission payload for one arrival (writer side).
@@ -391,6 +398,7 @@ def build_admission_payload(
         witness_substitution=None if witness is None else witness.substitution,
         enable_witness=enable_witness,
         tables=snapshot_tables(database, relations, cache=snapshot_cache),
+        search_config=search_config,
     )
 
 
@@ -422,6 +430,7 @@ def execute_admission(payload: AdmissionPayload) -> AdmissionResult:
         new_required=frozenset(payload.renamed.hard_variables()),
         base_required=base_required,
         enable_witness=payload.enable_witness,
+        config=payload.search_config,
     )
     return AdmissionResult(
         partition_id=payload.partition_id,

@@ -11,6 +11,14 @@ SMT solvers as future work.  This subpackage provides:
   for candidate generation.  This is the direct analogue of the paper's
   ``LIMIT 1`` probes and is what :class:`~repro.core.quantum_database.QuantumDatabase`
   uses.
+* :mod:`.strategy` / :mod:`.bnb` / :mod:`.fastpath` / :mod:`.sampling` /
+  :mod:`.undo` — the pluggable admission-search subsystem: a frozen
+  :class:`~repro.solver.strategy.AdmissionSearchConfig` selects between
+  plain backtracking and a trail-based branch-and-bound searcher (with
+  per-shape fast paths and an opt-in seeded sampling estimator), all
+  dispatched through :func:`~repro.solver.strategy.dispatch_find_one`
+  inside the pure admission function so every execution mode honors the
+  strategy bit-identically.
 * :mod:`.csp` / :mod:`.propagation` / :mod:`.backtracking` — a generic
   finite-domain constraint-satisfaction solver (AC-3 + MRV backtracking),
   used by the calendar example and the ablation benches.
@@ -20,13 +28,23 @@ SMT solvers as future work.  This subpackage provides:
 """
 
 from repro.solver.backtracking import BacktrackingSolver
+from repro.solver.bnb import find_one_bnb
 from repro.solver.csp import Constraint, CSP, Domain
+from repro.solver.fastpath import find_one_fastpath
 from repro.solver.grounding import GroundingSearch, GroundingResult
 from repro.solver.propagation import ac3, forward_check
 from repro.solver.randomsat import random_ksat
+from repro.solver.sampling import sample_find_one
 from repro.solver.sat import Clause, CNF, DPLLSolver, Literal
+from repro.solver.strategy import (
+    AdmissionSearchConfig,
+    SamplingConfig,
+    dispatch_find_one,
+)
+from repro.solver.undo import Trail, TrailBindings
 
 __all__ = [
+    "AdmissionSearchConfig",
     "BacktrackingSolver",
     "CNF",
     "CSP",
@@ -37,7 +55,14 @@ __all__ = [
     "GroundingResult",
     "GroundingSearch",
     "Literal",
+    "SamplingConfig",
+    "Trail",
+    "TrailBindings",
     "ac3",
+    "dispatch_find_one",
+    "find_one_bnb",
+    "find_one_fastpath",
     "forward_check",
     "random_ksat",
+    "sample_find_one",
 ]

@@ -55,6 +55,14 @@ class GroundingStatistics:
     backtracks: int = 0
     nodes: int = 0
     exhausted_budget: bool = False
+    #: Subtrees the branch-and-bound strategy proved dead and skipped.
+    prunes: int = 0
+    #: Searches answered by a per-shape fast path before the general search.
+    fastpath_hits: int = 0
+    #: Greedy descents performed by the sampling admission estimator.
+    samples: int = 0
+    #: High-water mark of the undo trail (deepest destructive binding stack).
+    undo_depth: int = 0
 
     def add(self, other: "GroundingStatistics") -> None:
         """Accumulate ``other``'s counters into this one."""
@@ -63,6 +71,11 @@ class GroundingStatistics:
         self.backtracks += other.backtracks
         self.nodes += other.nodes
         self.exhausted_budget = self.exhausted_budget or other.exhausted_budget
+        self.prunes += other.prunes
+        self.fastpath_hits += other.fastpath_hits
+        self.samples += other.samples
+        # A high-water mark, not a flow: the deepest trail any search saw.
+        self.undo_depth = max(self.undo_depth, other.undo_depth)
 
 
 @dataclass
@@ -128,6 +141,31 @@ class GroundingSearch:
         with self._totals_lock:
             self.totals.nodes += nodes
 
+    def absorb_statistics(
+        self,
+        stats: GroundingStatistics,
+        *,
+        formula: Formula | None = None,
+        count_search: bool = False,
+    ) -> None:
+        """Fold a complete search's counters into the shared totals.
+
+        The alternative-strategy searchers (branch-and-bound, shape fast
+        paths, the sampling estimator) run their own traversal but report
+        through the same accumulator as :meth:`find`, so ``totals`` stays
+        the single source of truth no matter which strategy ran.  With
+        ``formula`` given the per-search observer fires too, and
+        ``count_search`` increments :attr:`searches` — together mirroring
+        exactly what one :meth:`find` call would have recorded.
+        """
+        with self._totals_lock:
+            if count_search:
+                self.searches += 1
+            self.totals.add(stats)
+            observer = self.observer
+            if formula is not None and observer is not None:
+                observer(formula, stats)
+
     def exists(self, formula: Formula, *, initial: Substitution | None = None) -> bool:
         """True if the formula has at least one grounding (a LIMIT 1 probe)."""
         return self.find_one(formula, initial=initial).satisfiable
@@ -153,15 +191,19 @@ class GroundingSearch:
                 ``statistics.exhausted_budget`` set), which callers use for
                 best-effort preference maximisation.
         """
+        stats = GroundingStatistics()
         for result in self.find(
             formula,
             required=required,
             initial=initial,
             limit=1,
             node_budget=node_budget,
+            statistics=stats,
         ):
             return result
-        return GroundingResult(Substitution.empty(), False)
+        # Unsatisfiable (or budget-exhausted): the result still carries the
+        # real work counters, so callers can see ``exhausted_budget``.
+        return GroundingResult(Substitution.empty(), False, stats)
 
     def find_all(
         self,
@@ -201,15 +243,21 @@ class GroundingSearch:
         initial: Substitution | None = None,
         limit: int | None = None,
         node_budget: int | None = None,
+        statistics: GroundingStatistics | None = None,
     ) -> Iterator[GroundingResult]:
-        """Yield groundings of ``formula`` one by one."""
+        """Yield groundings of ``formula`` one by one.
+
+        ``statistics`` lets a caller hand in the accumulator (so the work
+        counters stay observable even when nothing is yielded); by default
+        a fresh one is created per search.
+        """
         simplified = formula.simplify()
         if simplified is FALSE:
             return
         required_vars = (
             frozenset(required) if required is not None else simplified.free_variables()
         )
-        stats = GroundingStatistics()
+        stats = statistics if statistics is not None else GroundingStatistics()
         with self._totals_lock:
             self.searches += 1
         start = initial or Substitution.empty()
@@ -222,8 +270,12 @@ class GroundingSearch:
                 grounded = self._close(substitution, required_vars)
                 if grounded is None:
                     continue
+                # Chase alias chains: a required variable may be bound to
+                # another variable that the close step resolved to a
+                # constant (e.g. through an equality), and the signature
+                # must key on that constant.
                 signature = frozenset(
-                    (var.name, grounded[var].value)  # type: ignore[union-attr]
+                    (var.name, grounded.apply_term(var).value)  # type: ignore[union-attr]
                     for var in required_vars
                     if var in grounded
                 )

@@ -1,0 +1,214 @@
+"""Seeded sampling-based admission estimation for huge partitions.
+
+Partitions whose composed bodies are too large to search exactly could
+previously only be rejected or force-grounded.  This estimator (shaped
+after pracmln's MC-SAT/Gibbs samplers: randomized state construction,
+deterministic under a seed) runs a bounded number of *greedy descents*
+through the formula instead of an exhaustive search:
+
+* each descent walks the same part-selection order as the exact search,
+  but commits to one randomly chosen row per atom (candidate rows are
+  shuffled; unification failures skip to the next shuffled row) and one
+  random branch per disjunction — **no backtracking across parts**;
+* a descent succeeds only when it reaches a *complete* assignment that
+  passes the deferred-negation checks and the required-variable close —
+  i.e. a genuine grounding, constructed exactly as the exact search
+  would certify it.
+
+Sampling therefore produces **false negatives only**: an accept is backed
+by a real witness (the invariant can never be corrupted), while a reject
+merely means no descent got lucky.  Both outcomes are approximate in the
+sense surfaced to callers (``AdmissionProbe.exact = False``); the
+estimator never engages without an explicit
+:class:`~repro.solver.strategy.SamplingConfig` opt-in.
+
+Determinism: a fresh ``random.Random(seed)`` per call plus the store's
+insertion-order-preserving row enumeration make decisions identical
+across runs and across execution modes (inline, thread lanes, shipped
+``AdmissionPayload`` workers).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import FormulaError
+from repro.logic.formula import (
+    AtomFormula,
+    Conjunction,
+    Disjunction,
+    Equality,
+    FALSE,
+    Formula,
+    Negation,
+    TRUE,
+)
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant, Variable
+from repro.solver.bnb import TrailSearch
+from repro.solver.grounding import (
+    GroundingResult,
+    GroundingSearch,
+    GroundingStatistics,
+)
+from repro.solver.strategy import SamplingConfig
+from repro.solver.undo import TrailBindings
+
+
+def relational_atom_count(formula: Formula) -> int:
+    """Relational atoms in a formula — the partition-size threshold key.
+
+    A pure function of the formula alone, so every execution mode decides
+    "is this partition above the sampling threshold?" identically.
+    """
+    return len(formula.atoms())
+
+
+def _descend(
+    engine: TrailSearch, simplified: Formula, rng: random.Random
+) -> Substitution | None:
+    """One greedy randomized descent; a snapshot on success, else None."""
+    bindings = engine.bindings
+    stats = engine.stats
+    parts: list[Formula] = [simplified]
+    deferred: list[Formula] = []
+    while True:
+        if not parts:
+            if engine._check_deferred(deferred):
+                return bindings.snapshot()
+            return None
+        index, part = engine._select_part(parts)
+        rest = parts[:index] + parts[index + 1 :]
+        if part is TRUE:
+            parts = rest
+            continue
+        if part is FALSE:
+            stats.backtracks += 1
+            return None
+        if isinstance(part, Conjunction):
+            parts = list(part.parts) + rest
+            continue
+        if isinstance(part, Equality):
+            if not bindings.unify(part.left, part.right):
+                stats.backtracks += 1
+                return None
+            ok, deferred = engine._propagate_deferred(deferred)
+            if not ok:
+                stats.backtracks += 1
+                return None
+            parts = rest
+            continue
+        if isinstance(part, Negation):
+            decision = engine._try_negation(part)
+            if decision is False:
+                stats.backtracks += 1
+                return None
+            if decision is None:
+                deferred = deferred + [part]
+            parts = rest
+            continue
+        if isinstance(part, Disjunction):
+            stats.choice_points += 1
+            branch = part.parts[rng.randrange(len(part.parts))]
+            parts = [branch] + rest
+            continue
+        if isinstance(part, AtomFormula):
+            stats.choice_points += 1
+            if not _commit_atom(engine, part, rng):
+                return None
+            parts = rest
+            ok, deferred = engine._propagate_deferred(deferred)
+            if not ok:
+                stats.backtracks += 1
+                return None
+            continue
+        raise FormulaError(f"unsupported formula node {part!r}")
+
+
+def _commit_atom(engine: TrailSearch, part: AtomFormula, rng: random.Random) -> bool:
+    """Bind one shuffled matching row of the atom, greedily and for good."""
+    bindings = engine.bindings
+    stats = engine.stats
+    atom = part.atom
+    database = engine.database
+    if not database.has_table(atom.relation):
+        return False
+    table = database.table(atom.relation)
+    schema = table.schema
+    resolved = [bindings.walk(t) for t in atom.terms]
+    if len(resolved) != schema.arity:
+        raise FormulaError(
+            f"atom {atom!r} has arity {len(resolved)}, table "
+            f"{schema.name!r} has arity {schema.arity}"
+        )
+    columns = []
+    values = []
+    for position, term in enumerate(resolved):
+        if isinstance(term, Constant):
+            columns.append(schema.columns[position].name)
+            values.append(term.value)
+    rows = list(table.lookup(columns, values) if columns else table.scan())
+    rng.shuffle(rows)
+    for row in rows:
+        stats.rows_examined += 1
+        mark = bindings.trail.mark()
+        matched = True
+        for term, value in zip(resolved, row.values):
+            if not bindings.unify(term, Constant(value)):
+                matched = False
+                break
+        if matched:
+            stats.nodes += 1
+            return True
+        bindings.trail.undo_to(mark)
+    stats.backtracks += 1
+    return False
+
+
+def sample_find_one(
+    search: GroundingSearch,
+    formula: Formula,
+    *,
+    required: frozenset[Variable] | None = None,
+    initial: Substitution | None = None,
+    sampling: SamplingConfig,
+) -> GroundingResult:
+    """Estimate satisfiability by seeded greedy descents.
+
+    Returns a satisfiable result carrying a *genuine* grounding when any
+    descent completes, an (approximate) unsatisfiable result when all
+    ``sampling.samples`` descents fail.  Work lands in ``search``'s
+    shared totals like every other strategy's.
+    """
+    simplified = formula.simplify()
+    stats = GroundingStatistics()
+    if simplified is FALSE:
+        return GroundingResult(Substitution.empty(), False, stats)
+    required_vars = (
+        frozenset(required) if required is not None else simplified.free_variables()
+    )
+    rng = random.Random(sampling.seed)
+    found: GroundingResult | None = None
+    max_depth = 0
+    try:
+        for _ in range(sampling.samples):
+            stats.samples += 1
+            bindings = TrailBindings(initial)
+            engine = TrailSearch(
+                search.database, bindings, stats, None, required_vars, prune=False
+            )
+            snapshot = _descend(engine, simplified, rng)
+            max_depth = max(max_depth, bindings.trail.max_depth)
+            if snapshot is None:
+                continue
+            grounded = search._close(snapshot, required_vars)
+            if grounded is None:
+                continue
+            found = GroundingResult(grounded, True, stats)
+            break
+    finally:
+        stats.undo_depth = max(stats.undo_depth, max_depth)
+        search.absorb_statistics(stats, formula=simplified, count_search=True)
+    if found is not None:
+        return found
+    return GroundingResult(Substitution.empty(), False, stats)

@@ -1,0 +1,139 @@
+"""Undoable binding trails for destructive-backtracking searches.
+
+The plain :class:`~repro.solver.grounding.GroundingSearch` threads an
+*immutable* :class:`~repro.logic.substitution.Substitution` through its
+recursion: every unification builds a fresh mapping dict, so backtracking
+is free but each forward step pays a full copy.  The branch-and-bound
+searcher inverts that trade (cf. pracmln's ``FormulaGrounding`` with its
+``utils/undo`` module): one mutable binding store shared by the whole
+search, with a *trail* of the variables bound since any chosen mark —
+backtracking pops the trail instead of discarding copies.
+
+Correctness contract: :class:`TrailBindings` replays the exact semantics
+of :func:`repro.logic.unification.unify_terms` over
+:meth:`Substitution.apply_term` — walk both sides by chasing variable
+chains, bind the walked (hence unbound) variable representative.  A
+successful search path therefore produces bit-for-bit the same final
+mapping the immutable chain of ``theta.bind`` calls would have produced,
+which is what lets the branch-and-bound strategy promise decisions and
+witnesses identical to backtracking.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.errors import SubstitutionError
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant, Term, Variable
+
+
+class Trail:
+    """The undo log of a destructive search: variables bound, in order.
+
+    ``mark()`` snapshots the current depth; ``undo_to(mark)`` unbinds
+    everything bound since — the whole backtrack step, O(bindings undone)
+    instead of O(copy).  ``max_depth`` is the high-water mark, surfaced in
+    the ``search.undo_depth`` statistic.
+    """
+
+    __slots__ = ("_entries", "_bindings", "max_depth")
+
+    def __init__(self, bindings: "TrailBindings") -> None:
+        self._entries: list[Variable] = []
+        self._bindings = bindings
+        self.max_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def mark(self) -> int:
+        """The current trail depth, to be passed back to :meth:`undo_to`."""
+        return len(self._entries)
+
+    def record(self, var: Variable) -> None:
+        """Log ``var`` as bound (called by the bindings on every bind)."""
+        self._entries.append(var)
+        if len(self._entries) > self.max_depth:
+            self.max_depth = len(self._entries)
+
+    def undo_to(self, mark: int) -> None:
+        """Unbind every variable bound since ``mark`` (newest first)."""
+        mapping = self._bindings.mapping
+        entries = self._entries
+        while len(entries) > mark:
+            del mapping[entries.pop()]
+
+
+class TrailBindings:
+    """A mutable substitution with trail-based undo.
+
+    Seeded from an immutable :class:`Substitution` (the initial/witness
+    bindings, which are *not* on the trail and can never be undone), then
+    grown destructively by :meth:`unify`.  :meth:`snapshot` freezes the
+    current state back into an immutable :class:`Substitution` equal to
+    the one the copy-per-step search would have built along the same path.
+    """
+
+    __slots__ = ("mapping", "trail")
+
+    def __init__(self, initial: Substitution | None = None) -> None:
+        self.mapping: dict[Variable, Term] = (
+            {var: term for var, term in initial.items()} if initial else {}
+        )
+        self.trail = Trail(self)
+
+    def walk(self, term: Term) -> Term:
+        """Chase variable chains, mirroring ``Substitution.apply_term``."""
+        seen: set[Variable] | None = None
+        current = term
+        mapping = self.mapping
+        while isinstance(current, Variable) and current in mapping:
+            if seen is None:
+                seen = set()
+            elif current in seen:
+                raise SubstitutionError(f"cyclic substitution through {current!r}")
+            seen.add(current)
+            current = mapping[current]
+        return current
+
+    def unify(self, left: Term, right: Term) -> bool:
+        """Destructively unify two terms; mirrors ``unify_terms``.
+
+        Returns False on a constant clash, leaving the bindings untouched
+        (walking never mutates; the failed case binds nothing).
+        """
+        left = self.walk(left)
+        right = self.walk(right)
+        if left == right:
+            return True
+        if isinstance(left, Variable):
+            self.mapping[left] = right
+            self.trail.record(left)
+            return True
+        if isinstance(right, Variable):
+            self.mapping[right] = left
+            self.trail.record(right)
+            return True
+        return False
+
+    def valuation(self) -> dict[str, Any]:
+        """Direct constant bindings only, mirroring ``_partial_valuation``.
+
+        Deliberately does *not* chase alias chains: the backtracking
+        search's deferred-negation machinery sees only variables bound
+        directly to constants, and the trail search must defer and decide
+        negations at exactly the same points.
+        """
+        return {
+            var.name: term.value
+            for var, term in self.mapping.items()
+            if isinstance(term, Constant)
+        }
+
+    def items(self) -> Iterator[tuple[Variable, Term]]:
+        return iter(self.mapping.items())
+
+    def snapshot(self) -> Substitution:
+        """Freeze the current bindings into an immutable substitution."""
+        return Substitution(dict(self.mapping))

@@ -107,10 +107,13 @@ class TestFigure5And6Shapes:
 
     def test_alternate_tracks_is_closely(self):
         result = figure5.run_figure5(TINY, k=61, seed=2)
-        alternate = result.quantum[ArrivalOrder.ALTERNATE].total_time
-        in_order = result.quantum[ArrivalOrder.IN_ORDER].total_time
-        # In Order keeps many more transactions pending, so it must be slower
-        # than Alternate (the paper's headline performance artifact).
+        alternate = result.quantum[ArrivalOrder.ALTERNATE].extra["search_nodes"]
+        in_order = result.quantum[ArrivalOrder.IN_ORDER].extra["search_nodes"]
+        # In Order keeps many more transactions pending, so its composed
+        # bodies grow and its admissions search many more nodes than
+        # Alternate's (the paper's headline performance artifact).  Asserted
+        # on the deterministic search-work counter, not wall time, which
+        # flaked when the full suite loaded the machine.
         assert in_order > alternate
 
 

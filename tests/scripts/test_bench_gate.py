@@ -532,3 +532,150 @@ def test_durability_absolute_mode_compares_raw_milliseconds(tmp_path, capsys):
     )
     assert run_gate(tmp_path, fresh, baseline, "--absolute") == 1
     assert "recovery time grew" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# Search points: admission-search strategy benchmark
+# ---------------------------------------------------------------------------
+
+
+def search_point(
+    num_flights: int = 16,
+    rows_per_flight: int = 4,
+    *,
+    admitted: int = 192,
+    rejected: int = 0,
+    nodes_ratio: float = 0.2,
+    decisions_match: bool = True,
+    fastpath_hit_rate: float = 0.10,
+    sampled_admission_ms: float = 15.0,
+) -> dict:
+    return {
+        "num_flights": num_flights,
+        "rows_per_flight": rows_per_flight,
+        "transactions": admitted + rejected,
+        "admitted": admitted,
+        "rejected": rejected,
+        "decisions_match": decisions_match,
+        "backtracking_nodes": 1000,
+        "bnb_nodes": int(1000 * nodes_ratio),
+        "nodes_ratio": nodes_ratio,
+        "fastpath_hits": 20,
+        "fastpath_hit_rate": fastpath_hit_rate,
+        "sampled_admissions": 4,
+        "sampled_admission_ms": sampled_admission_ms,
+    }
+
+
+def with_search(base: dict, points: list[dict], *, scale: str = "default") -> dict:
+    data = dict(base)
+    data["search"] = {"scale": scale, "results": points}
+    return data
+
+
+def test_search_clean_comparison(tmp_path, capsys):
+    fresh = with_search(payload(standard_points()), [search_point()])
+    baseline = with_search(payload(standard_points()), [search_point()])
+    assert run_gate(tmp_path, fresh, baseline) == 0
+    assert "1 search points" in capsys.readouterr().out
+
+
+def test_search_section_absent_from_baseline_is_a_note(tmp_path, capsys):
+    # Pre-subsystem baselines must keep gating cleanly: the fresh search
+    # point is reported as new, never failed.
+    fresh = with_search(payload(standard_points()), [search_point()])
+    baseline = payload(standard_points())
+    assert run_gate(tmp_path, fresh, baseline) == 0
+    assert "new search point (16, 4)" in capsys.readouterr().out
+
+
+def test_search_nodes_ratio_bound_is_structural(tmp_path, capsys):
+    # A ratio above the bound fails even against an identical baseline —
+    # and even with no baseline section at all: the bound is the PR's
+    # acceptance bar, not a relative noise band.
+    degenerate = search_point(nodes_ratio=0.6)
+    fresh = with_search(payload(standard_points()), [degenerate])
+    baseline = with_search(payload(standard_points()), [degenerate])
+    assert run_gate(tmp_path, fresh, baseline) == 1
+    assert "exceeds the 0.5 bound" in capsys.readouterr().out
+    assert run_gate(tmp_path, fresh, payload(standard_points())) == 1
+
+
+def test_search_decision_mismatch_is_structural(tmp_path, capsys):
+    broken = search_point(decisions_match=False)
+    fresh = with_search(payload(standard_points()), [broken])
+    baseline = with_search(payload(standard_points()), [broken])
+    assert run_gate(tmp_path, fresh, baseline) == 1
+    assert "decisions diverged" in capsys.readouterr().out
+
+
+def test_search_decision_counters_gate_strictly(tmp_path, capsys):
+    fresh = with_search(
+        payload(standard_points()), [search_point(admitted=191, rejected=1)]
+    )
+    baseline = with_search(payload(standard_points()), [search_point()])
+    assert run_gate(tmp_path, fresh, baseline) == 1
+    assert "decisions diverged" in capsys.readouterr().out
+
+
+def test_search_fastpath_rate_collapse_fails(tmp_path, capsys):
+    fresh = with_search(
+        payload(standard_points()), [search_point(fastpath_hit_rate=0.05)]
+    )
+    baseline = with_search(
+        payload(standard_points()), [search_point(fastpath_hit_rate=0.10)]
+    )
+    assert run_gate(tmp_path, fresh, baseline) == 1
+    assert "fastpath hit rate dropped" in capsys.readouterr().out
+
+
+def test_search_sampled_latency_growth_beyond_tolerance_fails(tmp_path, capsys):
+    fresh = with_search(
+        payload(standard_points()), [search_point(sampled_admission_ms=24.0)]
+    )
+    baseline = with_search(
+        payload(standard_points()), [search_point(sampled_admission_ms=15.0)]
+    )
+    assert run_gate(tmp_path, fresh, baseline) == 1
+    assert "sampled-admission latency grew" in capsys.readouterr().out
+
+
+def test_search_sampled_latency_normalized_by_machine_speed(tmp_path):
+    # Latency doubled on a machine whose anchor throughput halved:
+    # normalized, nothing regressed.
+    fresh = with_search(
+        payload(standard_points(anchor=50.0, sharded=100.0)),
+        [search_point(sampled_admission_ms=30.0)],
+    )
+    baseline = with_search(
+        payload(standard_points(anchor=100.0, sharded=200.0)),
+        [search_point(sampled_admission_ms=15.0)],
+    )
+    assert run_gate(tmp_path, fresh, baseline) == 0
+
+
+def test_search_scale_mismatch_fails(tmp_path, capsys):
+    fresh = with_search(payload(standard_points()), [search_point()], scale="default")
+    baseline = with_search(payload(standard_points()), [search_point()], scale="paper")
+    assert run_gate(tmp_path, fresh, baseline) == 1
+    assert "search scale mismatch" in capsys.readouterr().out
+
+
+def test_search_points_count_toward_require_points(tmp_path):
+    fresh = with_search(payload(standard_points()), [search_point()])
+    baseline = with_search(payload(standard_points()), [search_point()])
+    assert run_gate(tmp_path, fresh, baseline, "--require-points", "4") == 0
+    assert run_gate(tmp_path, fresh, baseline, "--require-points", "5") == 1
+
+
+def test_search_absolute_mode_compares_raw_milliseconds(tmp_path, capsys):
+    fresh = with_search(
+        payload([point(4, "thread", False, 200.0)]),
+        [search_point(sampled_admission_ms=40.0)],
+    )
+    baseline = with_search(
+        payload([point(4, "thread", False, 200.0)]),
+        [search_point(sampled_admission_ms=15.0)],
+    )
+    assert run_gate(tmp_path, fresh, baseline, "--absolute") == 1
+    assert "sampled-admission latency grew" in capsys.readouterr().out

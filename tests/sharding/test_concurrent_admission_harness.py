@@ -48,10 +48,11 @@ FLIGHTS = 4
 SEATS = 3
 
 
-def make_qdb(*, shards, lanes=False, backend="thread", k=3):
+def make_qdb(*, shards, lanes=False, backend="thread", k=3, search=None):
+    kwargs = {} if search is None else {"search": search}
     qdb = QuantumDatabase(
         config=QuantumConfig(
-            k=k, shards=shards, admission_lanes=lanes, shard_backend=backend
+            k=k, shards=shards, admission_lanes=lanes, shard_backend=backend, **kwargs
         )
     )
     qdb.create_table("Available", ["flight", "seat"], key=["flight", "seat"])
@@ -139,7 +140,9 @@ def barrier_injector(seed, ratio=0.12):
     return inject
 
 
-def run_stream(transactions, *, shards, lanes, backend="thread", scheduler=None):
+def run_stream(
+    transactions, *, shards, lanes, backend="thread", scheduler=None, search=None
+):
     """Run one stream to completion and fingerprint everything observable.
 
     The fingerprint is exactly what the acceptance criteria name: the
@@ -148,7 +151,7 @@ def run_stream(transactions, *, shards, lanes, backend="thread", scheduler=None)
     merges / pending), every grounding valuation (admission-time and
     final), and the final extensional store state.
     """
-    qdb = make_qdb(shards=shards, lanes=lanes, backend=backend)
+    qdb = make_qdb(shards=shards, lanes=lanes, backend=backend, search=search)
     if scheduler is not None:
         controller = qdb.admission_controller()
         assert controller is not None
