@@ -111,6 +111,19 @@ LATENCY_TOLERANCE = 0.50
 #: on shared CI boxes, so the band matches the latency one.
 DURABILITY_TOLERANCE = 0.50
 
+#: Absolute floor (raw milliseconds) under which the delta-checkpoint
+#: pause growth check never fails.  The pause is a ~1ms quantity at smoke
+#: scale and a *max* over every checkpoint in the run, so one delayed
+#: scheduling slice anywhere can multiply it — a purely relative band
+#: flaps on loaded boxes no matter which run is committed as the
+#: baseline.  The effective floor is the larger of this constant and
+#: half the same run's legacy full-snapshot pause: the engine's claim is
+#: the pause staying materially below the fold it replaced, so only a
+#: fresh pause that has lost most of that advantage re-arms the band
+#: (and one that reaches the fold fails the structural delta-below-legacy
+#: check regardless).
+PAUSE_NOISE_FLOOR_MS = 5.0
+
 #: Structural bound on the admission-search points: branch-and-bound must
 #: expand at most this fraction of the backtracking run's admission-search
 #: nodes.  Node counts are deterministic (same workload, same algorithm),
@@ -554,6 +567,19 @@ def main(argv: list[str] | None = None) -> int:
                 f"({growth:+.1%})"
             )
             if growth > DURABILITY_TOLERANCE:
+                raw_fresh = fresh_result.get(field)
+                if field == "max_delta_pause_ms" and raw_fresh is not None:
+                    floor = PAUSE_NOISE_FLOOR_MS
+                    if legacy_pause is not None:
+                        floor = max(floor, 0.5 * float(legacy_pause))
+                    if float(raw_fresh) <= floor:
+                        print(
+                            f"bench gate: note — durability {key} {label} "
+                            f"{float(raw_fresh):.2f}ms is within the "
+                            f"{floor:.1f}ms scheduling-noise floor; "
+                            "growth not gated"
+                        )
+                        continue
                 failures.append(
                     f"durability {key}: {label} grew {growth:.1%} "
                     f"(tolerance {DURABILITY_TOLERANCE:.0%})"

@@ -448,8 +448,71 @@ def test_durability_recovery_time_growth_beyond_tolerance_fails(tmp_path, capsys
 
 
 def test_durability_pause_growth_beyond_tolerance_fails(tmp_path, capsys):
+    # The fresh pause clears the noise floor (half the 30ms legacy fold),
+    # so the relative band applies — and +67% fails it.
     fresh = with_durability(
-        payload(standard_points()), [dur_point(delta_pause_ms=2.4)]
+        payload(standard_points()), [dur_point(delta_pause_ms=20.0)]
+    )
+    baseline = with_durability(
+        payload(standard_points()), [dur_point(delta_pause_ms=12.0)]
+    )
+    assert run_gate(tmp_path, fresh, baseline) == 1
+    assert "max delta checkpoint pause grew" in capsys.readouterr().out
+
+
+def test_durability_subfloor_pause_growth_is_noise(tmp_path, capsys):
+    # A ~1ms pause tripling is one delayed scheduling slice, not a
+    # regression: below the noise floor the relative band never fires,
+    # whichever run happened to be committed as the baseline.
+    fresh = with_durability(
+        payload(standard_points()), [dur_point(delta_pause_ms=4.0)]
+    )
+    baseline = with_durability(
+        payload(standard_points()), [dur_point(delta_pause_ms=1.0)]
+    )
+    assert run_gate(tmp_path, fresh, baseline) == 0
+    assert "scheduling-noise floor" in capsys.readouterr().out
+
+
+def test_durability_pause_floor_scales_with_legacy_fold(tmp_path, capsys):
+    # The floor is half the same run's legacy full-snapshot pause: a
+    # pause that still undercuts the fold 2.5x keeps the engine's
+    # pause-proportional-to-churn claim, however it compares to a
+    # baseline recorded on a quieter box.
+    fresh = with_durability(
+        payload(standard_points()),
+        [dur_point(delta_pause_ms=40.0, legacy_pause_ms=100.0)],
+    )
+    baseline = with_durability(
+        payload(standard_points()),
+        [dur_point(delta_pause_ms=10.0, legacy_pause_ms=100.0)],
+    )
+    assert run_gate(tmp_path, fresh, baseline) == 0
+    assert "scheduling-noise floor" in capsys.readouterr().out
+
+
+def test_durability_pause_floor_is_raw_not_normalized(tmp_path, capsys):
+    # The floor is an absolute raw-milliseconds statement about scheduling
+    # jitter: a doubled anchor throughput doubles the normalized pause on
+    # top of the raw tripling (+500% normalized), but 3ms raw is still
+    # one delayed scheduling slice, so it passes as noise.
+    fresh = with_durability(
+        payload(standard_points(anchor=200.0, sharded=400.0)),
+        [dur_point(recovery_ms=20.0, delta_pause_ms=3.0)],
+    )
+    baseline = with_durability(
+        payload(standard_points(anchor=100.0, sharded=200.0)),
+        [dur_point(recovery_ms=40.0, delta_pause_ms=1.0)],
+    )
+    assert run_gate(tmp_path, fresh, baseline) == 0
+    assert "scheduling-noise floor" in capsys.readouterr().out
+
+
+def test_durability_pause_above_floor_reengages_band(tmp_path, capsys):
+    # Drifting back toward the legacy full-snapshot fold clears the floor
+    # and the band fails it, even while still below the legacy pause.
+    fresh = with_durability(
+        payload(standard_points()), [dur_point(delta_pause_ms=20.0)]
     )
     baseline = with_durability(
         payload(standard_points()), [dur_point(delta_pause_ms=1.5)]
