@@ -10,19 +10,30 @@ run then compacts the sealed segments (reclaimed bytes must be positive)
 and times a cold :func:`repro.storage.recover` of the directory, checking
 the recovered store row-for-row against the legacy replay.
 
+The segmented twin runs with ``incremental_bases``: the writer folds the
+full store exactly once (the first base) and later bases are synthesized
+off-writer by the compaction pass, so ``writer_base_folds`` must stay at
+1 while ``bases_synthesized`` is positive.  A second, windowed mini-run
+(``fsync=True`` with a group-fsync window) measures ``fsyncs_per_commit``
+under concurrent committers — structurally below 1, since commits share
+deferred group syncs.
+
 Results land in the ``"durability"`` section of ``BENCH_admission.json``
 (read-modify-write, like the ``"network"`` section) where
 ``scripts/bench_gate.py`` gates them: recovery time and the max delta
 checkpoint pause — normalized by the run's anchor admission throughput, a
 machine-speed proxy — must not grow beyond tolerance, compaction must
-keep reclaiming bytes, and the delta pause must stay below the legacy
-full-snapshot pause.  Run via ``make recoverbench`` (part of
-``make check``); not smoke-marked, so ``make smoke`` keeps its budget.
+keep reclaiming bytes, the delta pause must stay below the legacy
+full-snapshot pause, windowed fsyncs-per-commit must stay below 1, and
+the writer must never fold a second base.  Run via ``make recoverbench``
+(part of ``make check``); not smoke-marked, so ``make smoke`` keeps its
+budget.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
 from pathlib import Path
 
@@ -32,7 +43,7 @@ from benchmarks.conftest import BENCH_SCALE, report
 from repro.experiments.report import format_table
 from repro.relational.database import Database
 from repro.relational.recovery import recover_database
-from repro.relational.wal import FileWalSink, WriteAheadLog
+from repro.relational.wal import FileWalSink, LogRecordType, WriteAheadLog
 from repro.storage import DurabilityConfig, SegmentedWriteAheadLog, recover
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -82,6 +93,54 @@ def fingerprint(database: Database) -> dict:
     }
 
 
+#: Windowed mini-run shape: concurrent committers sharing group syncs.
+WINDOWED_THREADS = 4
+WINDOWED_COMMITS_EACH = 25
+WINDOWED_WINDOW_S = 0.01
+
+
+def _measure_windowed_fsyncs(directory) -> tuple[float, int]:
+    """Commits-per-fsync under a group-fsync window.
+
+    A small engine-level run — ``WINDOWED_THREADS`` committers, each
+    appending ``WINDOWED_COMMITS_EACH`` single-insert transactions against
+    a windowed ``fsync=True`` engine — returning ``(fsyncs_per_commit,
+    commits)`` from the engine's own counters, read before ``close()``
+    adds its final eager sync.
+    """
+    config = DurabilityConfig(
+        mode="segmented",
+        directory=str(directory),
+        fsync=True,
+        fsync_window_s=WINDOWED_WINDOW_S,
+        segment_max_records=10_000,
+    )
+    database = make_schema()
+    engine = SegmentedWriteAheadLog(directory, config)
+    engine.adopt(database.wal)
+    database.wal = engine
+
+    def committer(base: int) -> None:
+        for i in range(WINDOWED_COMMITS_EACH):
+            txn = base + i
+            engine.append(LogRecordType.BEGIN, txn)
+            engine.append(LogRecordType.INSERT, txn, "Rows", _row(txn))
+            engine.append(LogRecordType.COMMIT, txn)
+
+    workers = [
+        threading.Thread(target=committer, args=(1_000_000 * (t + 1),))
+        for t in range(WINDOWED_THREADS)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    commits = WINDOWED_THREADS * WINDOWED_COMMITS_EACH
+    fsyncs = engine.statistics.fsyncs
+    engine.close()
+    return fsyncs / commits, commits
+
+
 def _emit_durability_json(result: dict) -> None:
     """Merge the durability section into ``BENCH_admission.json``.
 
@@ -106,10 +165,15 @@ def test_recovery_and_checkpoint_pause(tmp_path):
     sink = FileWalSink(tmp_path / "legacy.wal")
     legacy.wal.attach_sink(sink)
 
-    # Segmented twin: one base checkpoint, then deltas for every round.
+    # Segmented twin: one writer-folded base checkpoint, then deltas for
+    # every round; the base the cadence would re-fold mid-run is
+    # synthesized by the compaction pass instead (incremental_bases).
     seg_dir = tmp_path / "segments"
     config = DurabilityConfig(
-        mode="segmented", directory=str(seg_dir), base_interval=rounds + 1
+        mode="segmented",
+        directory=str(seg_dir),
+        base_interval=rounds // 2,
+        incremental_bases=True,
     )
     segmented = make_schema()
     engine = SegmentedWriteAheadLog(seg_dir, config)
@@ -130,10 +194,18 @@ def test_recovery_and_checkpoint_pause(tmp_path):
     assert stats.checkpoints_delta == rounds
 
     # Background-style compaction debt is paid before the cold restart;
-    # the superseded pre-base segments must actually free disk.
+    # the superseded pre-base segments must actually free disk, and the
+    # due base is synthesized off-writer rather than folded by the writer.
     compaction_passes = engine.compact_now()
     assert stats.bytes_reclaimed > 0, "compaction reclaimed nothing"
+    assert stats.bases_synthesized >= 1, "no base was synthesized"
+    assert stats.checkpoints_base == 1, "the writer folded a second base"
     engine.close()
+
+    fsyncs_per_commit, windowed_commits = _measure_windowed_fsyncs(
+        tmp_path / "windowed"
+    )
+    assert fsyncs_per_commit < 1.0, fsyncs_per_commit
 
     started = time.perf_counter()
     recovered = recover(seg_dir, make_schema)
@@ -161,11 +233,15 @@ def test_recovery_and_checkpoint_pause(tmp_path):
         "bytes_reclaimed": stats.bytes_reclaimed,
         "segments_sealed": stats.segments_sealed,
         "compactions": compaction_passes,
+        "writer_base_folds": stats.checkpoints_base,
+        "bases_synthesized": stats.bases_synthesized,
+        "fsyncs_per_commit": round(fsyncs_per_commit, 4),
+        "windowed_commits": windowed_commits,
     }
     report(
         "Durability engine (segmented WAL vs. legacy monolithic log)",
         format_table(
-            ["store rows", "churn", "delta pause ms", "legacy pause ms", "recovery ms", "bytes reclaimed"],
+            ["store rows", "churn", "delta pause ms", "legacy pause ms", "recovery ms", "bytes reclaimed", "fsyncs/commit"],
             [
                 [
                     rows,
@@ -174,6 +250,7 @@ def test_recovery_and_checkpoint_pause(tmp_path):
                     result["legacy_pause_ms"],
                     result["recovery_ms"],
                     result["bytes_reclaimed"],
+                    result["fsyncs_per_commit"],
                 ]
             ],
         ),

@@ -18,6 +18,13 @@ follows directly from the paper's model (see ``docs/architecture.md``):
   the writer drains them together and admits them via
   :meth:`QuantumDatabase.commit_batch` — one durability write (and one WAL
   group-commit flush) for the whole run instead of one per transaction.
+  With a segmented engine running a group-fsync window
+  (``DurabilityConfig(fsync=True, fsync_window_s=...)``) the whole drain
+  additionally shares one *deferred* ``os.fsync``: the run's commits are
+  appended and flushed inside the engine's ``sync_scope()`` and the
+  writer blocks once, at scope exit, until the covering sync lands —
+  only then are the submitters' futures resolved, so a client never sees
+  an acknowledgement for a commit that is not yet on stable storage.
 
 * **Concurrent grounding.**  Explicit grounding requests that span several
   partitions run their read-only *plan* phase (the grounding search) on the
@@ -40,8 +47,9 @@ import enum
 import os
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Any, Mapping, Sequence
+from typing import Any, ContextManager, Mapping, Sequence
 
 from repro.core.parser import parse_transaction
 from repro.core.quantum_database import CommitResult, QuantumDatabase
@@ -198,6 +206,11 @@ class ServerConfig:
             log is recovery input (``repro.storage.recover``), so
             ``start()`` refuses to adopt over it — mirroring the
             ``wal_path`` refusal.  Mutually exclusive with ``wal_path``.
+            ``fsync_window_s`` adds the group-fsync commit window (the
+            writer loop batches each drain's sync wait through the
+            engine's ``sync_scope()``), and ``incremental_bases`` moves
+            base-checkpoint folds onto the compactor — see
+            :class:`~repro.storage.DurabilityConfig`.
     """
 
     max_batch: int = 64
@@ -771,7 +784,11 @@ class QuantumServer:
         if len(live) > self.statistics.max_commit_run:
             self.statistics.max_commit_run = len(live)
         try:
-            results = self.qdb.commit_batch([item.payload for item in live])
+            # The sync scope batches the run's deferred group fsync into
+            # one wait at scope exit; the futures below resolve only after
+            # it, so acknowledgement still implies stable storage.
+            with self._durability_sync_scope():
+                results = self.qdb.commit_batch([item.payload for item in live])
         except Exception as exc:  # pragma: no cover - defensive
             for item in live:
                 if not item.future.done():
@@ -800,10 +817,18 @@ class QuantumServer:
         if not item.future.cancelled():
             item.future.set_result(result)
 
+    def _durability_sync_scope(self) -> ContextManager[None]:
+        """The WAL's commit-sync batching scope (no-op without a window)."""
+        scope = getattr(self.qdb.database.wal, "sync_scope", None)
+        if scope is None:
+            return nullcontext()
+        return scope()
+
     def _dispatch(self, item: WorkItem) -> Any:
         if item.kind is WorkKind.BATCH:
             self.statistics.batch_commits += len(item.payload)
-            return self.qdb.commit_batch(item.payload)
+            with self._durability_sync_scope():
+                return self.qdb.commit_batch(item.payload)
         if item.kind is WorkKind.READ:
             self.statistics.reads += 1
             request, terms, mode, select, limit = item.payload

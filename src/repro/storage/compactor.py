@@ -8,6 +8,18 @@ a segment is sealed or a checkpoint lands (plus a periodic wake-up as a
 backstop), then runs :meth:`SegmentedWriteAheadLog.compact_once` until no
 sealed segment is eligible.  All file rewriting happens off the writer's
 lock — the single point of contact is the atomic manifest swap.
+
+The same thread also performs off-writer base synthesis
+(``DurabilityConfig(incremental_bases=True)``): when the delta chain
+reaches ``base_interval`` the engine arms a fold and the next compaction
+pass merges the previous base with the sealed deltas into a synthesized
+``CHECKPOINT_BASE``, so the writer never builds another full snapshot.
+
+A segment whose compaction keeps failing (a corrupt sealed file, say) is
+quarantined by the engine after a bounded number of attempts
+(``compaction_errors`` / ``last_compaction_error`` in
+``durability_statistics()``) — the worker records the error and moves on
+rather than re-reading the same damaged file in a hot loop.
 """
 
 from __future__ import annotations
@@ -57,7 +69,10 @@ class Compactor:
             except Exception as exc:  # noqa: BLE001 - must not kill the thread
                 # Compaction is an optimization: a failed pass leaves the
                 # (larger but consistent) log in place, so record and retry
-                # at the next wake-up rather than crash the server.
+                # at the next wake-up rather than crash the server.  The
+                # engine bounds the retries per segment — a persistently
+                # failing segment is quarantined out of the candidate set,
+                # so this never becomes a hot loop on the same file.
                 self.last_error = exc
 
     def close(self) -> None:

@@ -40,6 +40,24 @@ class DurabilityConfig:
             (and the manifest at every update), so durability survives OS
             crashes, not just process crashes.  Off by default, matching
             :class:`~repro.relational.wal.FileWalSink`.
+        fsync_window_s: group-fsync commit window (segmented mode, needs
+            ``fsync=True``).  ``0`` (the default) keeps per-commit syncs:
+            every commit flush is its own ``os.fsync``, byte-for-byte
+            today's behavior.  A positive window defers the sync: commits
+            append and flush immediately but share one ``os.fsync`` issued
+            when the window (measured from the first uncovered commit)
+            expires, and commit acknowledgement blocks until the covering
+            sync lands — durability semantics are unchanged while
+            fsyncs-per-commit drops well below 1 under load.
+        incremental_bases: synthesize base checkpoints off the writer.
+            When enabled, every checkpoint after the first base is a delta
+            (``wants_delta_checkpoint()`` stays true), and once
+            ``base_interval`` deltas have accrued the *compactor* folds
+            the previous ``CHECKPOINT_BASE`` with the sealed delta chain
+            into a fresh synthesized base, installed by an atomic manifest
+            swap — no full-store snapshot fold ever runs on the writer
+            after the first base, so the worst-case checkpoint pause is
+            capped by churn too.
         compaction: run the background compactor thread while a server
             owns the engine (synchronous ``compact_now()`` remains
             available either way).
@@ -54,6 +72,8 @@ class DurabilityConfig:
     segment_max_records: int = 512
     base_interval: int = 8
     fsync: bool = False
+    fsync_window_s: float = 0.0
+    incremental_bases: bool = False
     compaction: bool = True
     compaction_interval_s: float = 0.05
 
@@ -83,6 +103,23 @@ class DurabilityConfig:
             )
         if self.compaction_interval_s <= 0:
             raise DurabilityError("compaction_interval_s must be positive")
+        if self.fsync_window_s < 0:
+            raise DurabilityError("fsync_window_s must be zero or positive")
+        if self.fsync_window_s > 0 and not self.fsync:
+            raise DurabilityError(
+                "fsync_window_s only defers syncs that fsync=True would "
+                "issue; enable fsync to use a group-fsync window"
+            )
+        if self.fsync_window_s > 0 and self.mode != "segmented":
+            raise DurabilityError(
+                "fsync_window_s is a segmented-engine knob; the legacy "
+                "sink syncs per flush"
+            )
+        if self.incremental_bases and self.mode != "segmented":
+            raise DurabilityError(
+                "incremental_bases needs mode='segmented' (the compactor "
+                "synthesizes the bases)"
+            )
 
     @property
     def segmented(self) -> bool:

@@ -34,9 +34,11 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import DurabilityError, RecoveryError
 from repro.relational.wal import (
@@ -77,6 +79,17 @@ class DurabilityStatistics:
             recovery benchmark gates against the legacy full-snapshot
             pause.
         torn_tail_truncations: torn trailing records truncated at open.
+        sync_windows: deferred group fsyncs issued by the window thread
+            (``fsync_window_s > 0``); each one covers every commit that
+            flushed since the previous sync.
+        bases_synthesized: base checkpoints folded off the writer by the
+            compactor (``incremental_bases=True``).
+        base_synthesis_ms: longest off-writer base fold observed (never a
+            writer pause — reported to show the background cost).
+        compaction_errors: failed compaction passes (corrupt sealed
+            segments, fold failures); see ``last_compaction_error``.
+        last_compaction_error: description of the most recent compaction
+            failure, or ``None``.
     """
 
     segments_sealed: int = 0
@@ -90,6 +103,116 @@ class DurabilityStatistics:
     base_pause_ms: float = 0.0
     delta_pause_ms: float = 0.0
     torn_tail_truncations: int = 0
+    sync_windows: int = 0
+    bases_synthesized: int = 0
+    base_synthesis_ms: float = 0.0
+    compaction_errors: int = 0
+    last_compaction_error: str | None = None
+
+
+#: Compaction attempts on one segment before it is quarantined.  A sealed
+#: segment that keeps failing (CRC damage, undecodable records) would
+#: otherwise pin the background compactor in a hot retry loop.
+_COMPACTION_ATTEMPT_LIMIT = 3
+
+
+class _GroupSyncWindow:
+    """Coordinates deferred commit fsyncs into timed group syncs.
+
+    Commit flushes ``request()`` a ticket under the writer lock and then
+    ``await_ticket()`` it *outside* the lock; a timer thread issues one
+    ``os.fsync`` on the tail once ``window_s`` has elapsed since the first
+    uncovered request, covering every ticket issued so far.  Paths that
+    sync the tail themselves (seals, checkpoints, explicit ``flush()``,
+    ``close()``) call ``complete_all()`` — every pending ticket points
+    into the tail they just synced, because sealing is itself such a path.
+    """
+
+    def __init__(self, engine: "SegmentedWriteAheadLog", window_s: float) -> None:
+        self._engine = engine
+        self._window_s = window_s
+        self._cond = threading.Condition()
+        self._requested = 0
+        self._completed = 0
+        self._window_opened: float | None = None
+        self._error: BaseException | None = None
+        self._stopped = False
+        self._thread = threading.Thread(
+            target=self._run,
+            name="repro-wal-group-sync",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def request(self) -> int:
+        """Register a flush awaiting its covering sync; returns its ticket."""
+        with self._cond:
+            self._requested += 1
+            if self._window_opened is None:
+                self._window_opened = time.monotonic()
+            self._cond.notify_all()
+            return self._requested
+
+    def pending(self) -> bool:
+        with self._cond:
+            return self._completed < self._requested
+
+    def complete_all(self) -> None:
+        """Mark every ticket covered (the caller just synced the tail)."""
+        with self._cond:
+            self._completed = self._requested
+            self._window_opened = None
+            self._cond.notify_all()
+
+    def fail(self, exc: BaseException) -> None:
+        with self._cond:
+            self._error = exc
+            self._cond.notify_all()
+
+    def await_ticket(self, ticket: int) -> None:
+        """Block until the sync covering ``ticket`` has landed."""
+        with self._cond:
+            while self._completed < ticket:
+                if self._error is not None:
+                    raise DurabilityError(
+                        "group fsync failed; commits in the window are not "
+                        "durable"
+                    ) from self._error
+                if self._stopped:
+                    raise DurabilityError(
+                        "segmented engine closed while a commit awaited its "
+                        "group fsync"
+                    )
+                self._cond.wait()
+
+    def stop(self) -> None:
+        """Stop the timer thread (idempotent; release any stuck waiter)."""
+        with self._cond:
+            if self._stopped:
+                return
+            self._stopped = True
+            self._cond.notify_all()
+        self._thread.join()
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._stopped and (
+                    self._completed >= self._requested or self._error is not None
+                ):
+                    self._cond.wait()
+                if self._stopped:
+                    return
+                assert self._window_opened is not None
+                deadline = self._window_opened + self._window_s
+                while not self._stopped:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+                if self._stopped:
+                    return
+            self._engine._sync_tail_for_window()
 
 
 class SegmentedWriteAheadLog(WriteAheadLog):
@@ -139,8 +262,32 @@ class SegmentedWriteAheadLog(WriteAheadLog):
         #: Serializes compaction passes (background thread vs. an explicit
         #: ``compact_now()``); the writer never takes it.
         self._compaction_lock = threading.Lock()
+        #: Compaction failure bookkeeping: attempts per segment file, and
+        #: the quarantine of segments that keep failing.
+        self._compaction_attempts: dict[str, int] = {}
+        self._compaction_quarantine: set[str] = set()
+        #: Off-writer base synthesis (``incremental_bases``): armed by
+        #: ``checkpoint_delta`` once the chain reaches ``base_interval``,
+        #: executed by the compactor.  ``_synthesis_cutoff`` is the LSN of
+        #: the newest delta sealed at arming time — the fold's horizon.
+        self._synthesis_due = False
+        self._synthesis_cutoff = 0
+        #: Group-fsync window (``fsync_window_s > 0``): commit flushes
+        #: defer their sync to the window's timer thread and block on a
+        #: ticket outside the writer lock; ``_deferred_sync`` carries the
+        #: per-thread ``sync_scope()`` state that batches those waits.
+        self._sync_window: _GroupSyncWindow | None = None
+        self._deferred_sync = threading.local()
+        if config.fsync and config.fsync_window_s > 0:
+            self._sync_window = _GroupSyncWindow(self, config.fsync_window_s)
         os.makedirs(self.directory, exist_ok=True)
         self._open_or_recover()
+
+    @property
+    def _tail_fsync(self) -> bool:
+        # With a group window the engine drives tail syncs itself; the
+        # writer must not sync on every flush.
+        return self.config.fsync and self._sync_window is None
 
     # -- open / recovery scan ----------------------------------------------
 
@@ -178,7 +325,7 @@ class SegmentedWriteAheadLog(WriteAheadLog):
             self._create_tail_locked()
         else:
             tail = manifest.segments[-1]
-            self._tail = SegmentWriter(self._path(tail.name), fsync=self.config.fsync)
+            self._tail = SegmentWriter(self._path(tail.name), fsync=self._tail_fsync)
             self._tail.records = tail.records
         self._manifest.save(self.directory, fsync=self.config.fsync)
 
@@ -259,6 +406,10 @@ class SegmentedWriteAheadLog(WriteAheadLog):
                 r
                 for r in records[base_idx + 1 : checkpoint_idx + 1]
                 if r.record_type is LogRecordType.CHECKPOINT_DELTA
+                # A synthesized base reuses the LSN of the newest delta it
+                # folded; until compaction drops that delta's old record,
+                # both coexist on disk — the delta is superseded.
+                and r.lsn > records[base_idx].lsn
             ]
             checkpoint_lsn = records[checkpoint_idx].lsn
         tail = [
@@ -384,8 +535,21 @@ class SegmentedWriteAheadLog(WriteAheadLog):
         values: Sequence[Any] | None = None,
         snapshot: Mapping[str, Sequence[Sequence[Any]]] | None = None,
     ) -> LogRecord:
-        """Append a record (framed into the tail segment) and return it."""
+        """Append a record (framed into the tail segment) and return it.
+
+        With a group-fsync window, a COMMIT/ABORT append flushes the tail
+        and then blocks — outside the writer lock, so concurrent commits
+        stack into the same window — until the deferred sync covering it
+        lands; the record is therefore durable by the time the append
+        returns, exactly as with per-commit syncs.  Inside a
+        :meth:`sync_scope` the wait is batched to the scope exit instead.
+        """
+        ticket: int | None = None
         with self._lock:
+            if self._closed:
+                raise DurabilityError(
+                    "cannot append to a closed segmented engine"
+                )
             record = LogRecord(
                 lsn=self._next_lsn,
                 record_type=record_type,
@@ -410,20 +574,101 @@ class SegmentedWriteAheadLog(WriteAheadLog):
             elif record_type is LogRecordType.COMMIT:
                 for effect in self._txn_effects.pop(transaction_id, ()):
                     self._fold_effect(*effect)
-                self._flush_tail_locked()
+                ticket = self._flush_tail_locked(defer_sync=True)
             elif record_type is LogRecordType.ABORT:
                 self._txn_effects.pop(transaction_id, None)
-                self._flush_tail_locked()
-            return record
+                ticket = self._flush_tail_locked(defer_sync=True)
+        if ticket is not None:
+            self._settle_sync_ticket(ticket)
+        return record
 
-    def _flush_tail_locked(self) -> None:
+    def _flush_tail_locked(self, *, defer_sync: bool = False) -> int | None:
+        """Flush the tail; returns a sync ticket when the sync is deferred.
+
+        With a group-fsync window, commit flushes (``defer_sync=True``)
+        hand their ``os.fsync`` to the window thread and return a ticket
+        the caller must await *outside* the writer lock.  Every other
+        flush — checkpoints, seals, explicit :meth:`flush`, ``adopt`` —
+        syncs eagerly, so manifest pointer advances never reference
+        unsynced records.
+        """
         self._tail.flush()
         self.statistics.flushes += 1
-        if self.config.fsync:
+        window = self._sync_window
+        if window is None:
+            if self.config.fsync:
+                self.statistics.fsyncs += 1
+            return None
+        if defer_sync:
+            return window.request()
+        self._tail.sync()
+        self.statistics.fsyncs += 1
+        window.complete_all()
+        return None
+
+    def _settle_sync_ticket(self, ticket: int) -> None:
+        """Wait for a commit's covering sync, or defer into the scope."""
+        window = self._sync_window
+        assert window is not None
+        local = self._deferred_sync
+        if getattr(local, "depth", 0):
+            local.max_ticket = max(getattr(local, "max_ticket", 0), ticket)
+            return
+        window.await_ticket(ticket)
+
+    def _sync_tail_for_window(self) -> None:
+        """Issue one group sync covering every pending ticket (timer thread)."""
+        window = self._sync_window
+        assert window is not None
+        with self._lock:
+            if self._closed or not window.pending():
+                # close() (or an eager sync path) already covered the
+                # outstanding tickets.
+                return
+            try:
+                self._tail.sync()
+            except OSError as exc:  # pragma: no cover - disk failure path
+                window.fail(exc)
+                return
             self.statistics.fsyncs += 1
+            self.statistics.sync_windows += 1
+            window.complete_all()
+
+    @contextmanager
+    def sync_scope(self) -> Iterator[None]:
+        """Batch this thread's commit-sync waits into one wait at exit.
+
+        Inside the scope, ``append(COMMIT/ABORT)`` records its sync ticket
+        instead of blocking; leaving the scope waits once for the highest
+        ticket, so a whole drained batch shares one group fsync (and one
+        window of latency) while every commit is still acknowledged only
+        after its covering sync.  Reentrant, per-thread; a no-op without a
+        group-fsync window.
+        """
+        if self._sync_window is None:
+            yield
+            return
+        local = self._deferred_sync
+        depth = getattr(local, "depth", 0)
+        if depth == 0:
+            local.max_ticket = 0
+        local.depth = depth + 1
+        try:
+            yield
+        finally:
+            local.depth = depth
+            if depth == 0:
+                ticket, local.max_ticket = local.max_ticket, 0
+                if ticket:
+                    self._sync_window.await_ticket(ticket)
 
     def flush(self) -> None:
-        """Force the tail segment's durability point."""
+        """Force the tail segment's durability point.
+
+        In windowed mode this syncs immediately and releases every pending
+        commit waiter — an explicit flush is a durability point (the
+        server calls it at shutdown).
+        """
         with self._lock:
             if not self._closed:
                 self._flush_tail_locked()
@@ -434,7 +679,7 @@ class SegmentedWriteAheadLog(WriteAheadLog):
         index = self._manifest.next_segment_index
         self._manifest.next_segment_index += 1
         entry = LogSegment(index=index, name=segment_file_name(index))
-        self._tail = SegmentWriter(self._path(entry.name), fsync=self.config.fsync)
+        self._tail = SegmentWriter(self._path(entry.name), fsync=self._tail_fsync)
         self._manifest.segments.append(entry)
 
     def _seal_tail_locked(self) -> None:
@@ -448,6 +693,14 @@ class SegmentedWriteAheadLog(WriteAheadLog):
         new one — both recoverable.
         """
         self._tail.flush()
+        window = self._sync_window
+        if window is not None:
+            # A sealed segment must be durable before the manifest marks
+            # it sealed, and every pending commit ticket points into this
+            # tail — sync it now and release the waiters.
+            self._tail.sync()
+            self.statistics.fsyncs += 1
+            window.complete_all()
         entry = self._manifest.tail
         entry.sealed = True
         entry.records = self._tail.records
@@ -461,9 +714,18 @@ class SegmentedWriteAheadLog(WriteAheadLog):
     # -- checkpoints ----------------------------------------------------------
 
     def wants_delta_checkpoint(self) -> bool:
-        """True between base checkpoints (see ``DurabilityConfig.base_interval``)."""
+        """True between base checkpoints (see ``DurabilityConfig.base_interval``).
+
+        With ``incremental_bases`` every checkpoint after the first base
+        is a delta — the compactor synthesizes the bases off the writer,
+        so the writer never builds another full snapshot.
+        """
         with self._lock:
-            return self._has_base and self._deltas_since_base < self.config.base_interval
+            if not self._has_base:
+                return False
+            if self.config.incremental_bases:
+                return True
+            return self._deltas_since_base < self.config.base_interval
 
     def checkpoint(
         self, snapshot: Mapping[str, Sequence[Sequence[Any]]]
@@ -476,6 +738,10 @@ class SegmentedWriteAheadLog(WriteAheadLog):
         is the background compactor's job.
         """
         with self._lock:
+            if self._closed:
+                raise DurabilityError(
+                    "cannot checkpoint a closed segmented engine"
+                )
             record = LogRecord(
                 lsn=self._next_lsn,
                 record_type=LogRecordType.CHECKPOINT_BASE,
@@ -490,6 +756,7 @@ class SegmentedWriteAheadLog(WriteAheadLog):
             self._dirty = {}
             self._has_base = True
             self._deltas_since_base = 0
+            self._synthesis_due = False
             self._manifest.checkpoint_lsn = record.lsn
             self._manifest.base_lsn = record.lsn
             self._manifest.save(self.directory, fsync=self.config.fsync)
@@ -510,6 +777,10 @@ class SegmentedWriteAheadLog(WriteAheadLog):
                 without a base would have nothing to chain to).
         """
         with self._lock:
+            if self._closed:
+                raise DurabilityError(
+                    "cannot checkpoint a closed segmented engine"
+                )
             if not self._has_base:
                 raise DurabilityError(
                     "cannot take a delta checkpoint before the first base "
@@ -529,7 +800,23 @@ class SegmentedWriteAheadLog(WriteAheadLog):
             self._dirty = {}
             self._deltas_since_base += 1
             self._manifest.checkpoint_lsn = record.lsn
-            self._manifest.save(self.directory, fsync=self.config.fsync)
+            if (
+                self.config.incremental_bases
+                and not self._synthesis_due
+                and self._deltas_since_base >= self.config.base_interval
+            ):
+                # Arm the off-writer base fold: seal the tail so the whole
+                # delta chain lives in sealed (durable) segments the
+                # compactor can read, and fix the fold's horizon at this
+                # delta.  The fold itself never runs here.
+                self._synthesis_cutoff = record.lsn
+                self._synthesis_due = True
+                if self._tail.records > 0:
+                    self._seal_tail_locked()
+                else:
+                    self._manifest.save(self.directory, fsync=self.config.fsync)
+            else:
+                self._manifest.save(self.directory, fsync=self.config.fsync)
             self.statistics.checkpoints_delta += 1
         self._trigger_compaction()
         return record
@@ -552,6 +839,14 @@ class SegmentedWriteAheadLog(WriteAheadLog):
             self._txn_effects = {}
             self._has_base = False
             self._deltas_since_base = 0
+            self._synthesis_due = False
+            self._compaction_attempts = {}
+            self._compaction_quarantine = set()
+            if self._sync_window is not None:
+                # The records any pending ticket covered are being
+                # discarded — release the waiters rather than sync bytes
+                # about to be deleted.
+                self._sync_window.complete_all()
             self._tail.close()
             for entry in self._manifest.segments:
                 os.remove(self._path(entry.name))
@@ -604,20 +899,59 @@ class SegmentedWriteAheadLog(WriteAheadLog):
         moves forward).
         """
         if record.record_type in CHECKPOINT_TYPES:
+            if record.record_type is LogRecordType.CHECKPOINT_DELTA:
+                # A synthesized base reuses its newest folded delta's LSN;
+                # that delta is superseded the moment the base lands, so
+                # deltas survive only strictly past the base.
+                return record.lsn > base_lsn
             return record.lsn >= base_lsn
         return record.lsn > checkpoint_lsn
+
+    def _note_compaction_failure(self, name: str, exc: BaseException) -> None:
+        """Count a failed pass on ``name``; quarantine after the limit.
+
+        A sealed segment that keeps failing — typically CRC damage found
+        by the compaction read — must not pin the background compactor in
+        a hot retry loop: after ``_COMPACTION_ATTEMPT_LIMIT`` attempts the
+        segment becomes ineligible and the rest of the chain keeps
+        compacting.  The counters surface through
+        :meth:`durability_statistics`.
+        """
+        with self._lock:
+            stats = self.statistics
+            stats.compaction_errors += 1
+            stats.last_compaction_error = f"{name}: {exc}"
+            attempts = self._compaction_attempts.get(name, 0) + 1
+            self._compaction_attempts[name] = attempts
+            if attempts >= _COMPACTION_ATTEMPT_LIMIT:
+                self._compaction_quarantine.add(name)
 
     def compact_once(self) -> bool:
         """Compact (or re-certify) one sealed segment; True if work was done.
 
-        The expensive part — reading the sealed file and writing its
-        replacement — happens without the writer lock; only the manifest
-        swap is under it.  The rewritten file is a *new generation* (new
-        name): a crash before the swap leaves it as an orphan, a crash
-        after the swap leaves the superseded original as an orphan, and
-        the open-time cleanup removes either.
+        A due base synthesis (``incremental_bases``) runs first — it
+        supersedes the delta chain the pass would otherwise be compacting
+        around.  The expensive part — reading the sealed file and writing
+        its replacement — happens without the writer lock; only the
+        manifest swap is under it.  The rewritten file is a *new
+        generation* (new name): a crash before the swap leaves it as an
+        orphan, a crash after the swap leaves the superseded original as
+        an orphan, and the open-time cleanup removes either.
         """
         with self._compaction_lock:
+            try:
+                if self._synthesize_base():
+                    return True
+            except Exception as exc:
+                with self._lock:
+                    # Disarm rather than retry in a loop; the next delta
+                    # checkpoint re-arms the fold with a fresh horizon.
+                    self._synthesis_due = False
+                    self.statistics.compaction_errors += 1
+                    self.statistics.last_compaction_error = (
+                        f"base synthesis: {exc}"
+                    )
+                raise
             with self._lock:
                 if self._closed:
                     return False
@@ -629,6 +963,7 @@ class SegmentedWriteAheadLog(WriteAheadLog):
                         for entry in self._manifest.segments[:-1]
                         if entry.sealed
                         and entry.compacted_at_lsn < checkpoint_lsn
+                        and entry.name not in self._compaction_quarantine
                     ),
                     None,
                 )
@@ -636,61 +971,211 @@ class SegmentedWriteAheadLog(WriteAheadLog):
                     return False
                 old_name = candidate.name
                 old_generation = candidate.generation
-            old_path = self._path(old_name)
-            with open(old_path, "rb") as handle:
-                data = handle.read()
-            scan = scan_frames(data)
-            if scan.damage is not None:
-                raise RecoveryError(
-                    f"sealed segment {old_name!r} is corrupt: {scan.damage}"
+            try:
+                return self._compact_candidate(
+                    candidate, old_name, old_generation, base_lsn, checkpoint_lsn
                 )
-            records = [
-                LogRecord.from_json(payload.decode("utf-8"))
-                for payload in scan.payloads
+            except Exception as exc:
+                self._note_compaction_failure(old_name, exc)
+                raise
+
+    def _compact_candidate(
+        self,
+        candidate: LogSegment,
+        old_name: str,
+        old_generation: int,
+        base_lsn: int,
+        checkpoint_lsn: int,
+    ) -> bool:
+        old_path = self._path(old_name)
+        with open(old_path, "rb") as handle:
+            data = handle.read()
+        scan = scan_frames(data)
+        if scan.damage is not None:
+            raise RecoveryError(
+                f"sealed segment {old_name!r} is corrupt: {scan.damage}"
+            )
+        records = [
+            LogRecord.from_json(payload.decode("utf-8"))
+            for payload in scan.payloads
+        ]
+        kept = [
+            record
+            for record in records
+            if self._keep_in_compaction(record, base_lsn, checkpoint_lsn)
+        ]
+        new_name = None
+        new_size = 0
+        if kept and len(kept) < len(records):
+            new_name = segment_file_name(candidate.index, old_generation + 1)
+            with open(self._path(new_name), "wb") as handle:
+                for record in kept:
+                    frame = encode_frame(record.to_json().encode("utf-8"))
+                    handle.write(frame)
+                    new_size += len(frame)
+                handle.flush()
+                if self.config.fsync:
+                    os.fsync(handle.fileno())
+        with self._lock:
+            candidate.compacted_at_lsn = checkpoint_lsn
+            if not kept:
+                self._manifest.segments.remove(candidate)
+                self.statistics.compactions += 1
+                self.statistics.bytes_reclaimed += len(data)
+            elif new_name is not None:
+                candidate.name = new_name
+                candidate.generation = old_generation + 1
+                candidate.records = len(kept)
+                candidate.size = new_size
+                self.statistics.compactions += 1
+                self.statistics.bytes_reclaimed += len(data) - new_size
+            sealed = [
+                entry
+                for entry in self._manifest.segments[:-1]
+                if entry.sealed
             ]
-            kept = [
-                record
-                for record in records
-                if self._keep_in_compaction(record, base_lsn, checkpoint_lsn)
-            ]
-            new_name = None
-            new_size = 0
-            if kept and len(kept) < len(records):
-                new_name = segment_file_name(candidate.index, old_generation + 1)
-                with open(self._path(new_name), "wb") as handle:
-                    for record in kept:
-                        frame = encode_frame(record.to_json().encode("utf-8"))
-                        handle.write(frame)
-                        new_size += len(frame)
-                    handle.flush()
-                    if self.config.fsync:
-                        os.fsync(handle.fileno())
+            self._manifest.compacted_through_lsn = min(
+                (entry.compacted_at_lsn for entry in sealed),
+                default=checkpoint_lsn,
+            )
+            self._manifest.save(self.directory, fsync=self.config.fsync)
+        if not kept or new_name is not None:
+            os.remove(old_path)
+        return True
+
+    @staticmethod
+    def _fold_lineage(
+        base: LogRecord, deltas: Sequence[LogRecord]
+    ) -> dict[str, tuple]:
+        """Apply a delta chain to a base snapshot (synthesized-base fold).
+
+        Same net-change semantics as recovery replay applying the chain
+        to a restored snapshot: deletes remove rows by their full value
+        tuple, inserts append.  An impossible step means the chain is
+        damaged and the fold must not produce a base from it.
+        """
+        assert base.snapshot is not None
+        tables: dict[str, dict[tuple, None]] = {
+            name: dict.fromkeys(tuple(row) for row in rows)
+            for name, rows in base.snapshot.items()
+        }
+        for record in deltas:
+            for name, changes in (record.delta or {}).items():
+                bucket = tables.setdefault(name, {})
+                for row in changes.get("delete", ()):
+                    key = tuple(row)
+                    if key not in bucket:
+                        raise RecoveryError(
+                            f"delta {record.lsn} deletes a row absent from "
+                            f"the folded base of table {name!r}"
+                        )
+                    del bucket[key]
+                for row in changes.get("insert", ()):
+                    key = tuple(row)
+                    if key in bucket:
+                        raise RecoveryError(
+                            f"delta {record.lsn} re-inserts a row already "
+                            f"present in the folded base of table {name!r}"
+                        )
+                    bucket[key] = None
+        return {name: tuple(bucket) for name, bucket in tables.items()}
+
+    def _synthesize_base(self) -> bool:
+        """Fold base + sealed delta chain into a fresh synthesized base.
+
+        Runs on the compactor, never the writer: the fold works off the
+        writer lock on an immutable copy of the lineage, the new base is
+        written into its own sealed segment file, and only the install —
+        splicing that segment into the front of the manifest chain and
+        advancing the lineage pointers — takes the lock, exactly like a
+        segment rewrite.  The synthesized record *reuses the LSN of the
+        newest delta it folded*, preserving the log's total order; the
+        superseded delta is filtered at install/recovery and dropped by
+        compaction.  A crash before the manifest save leaves the new file
+        as a cleanable orphan and the old lineage authoritative.
+        """
+        with self._lock:
+            if self._closed or not self._synthesis_due:
+                return False
+            cutoff = self._synthesis_cutoff
+            lineage = list(self._records[: self._lineage_length])
+            checkpoint_lsn = self._manifest.checkpoint_lsn
+        if not lineage or lineage[0].record_type not in SNAPSHOT_CHECKPOINT_TYPES:
             with self._lock:
-                candidate.compacted_at_lsn = checkpoint_lsn
-                if not kept:
-                    self._manifest.segments.remove(candidate)
-                    self.statistics.compactions += 1
-                    self.statistics.bytes_reclaimed += len(data)
-                elif new_name is not None:
-                    candidate.name = new_name
-                    candidate.generation = old_generation + 1
-                    candidate.records = len(kept)
-                    candidate.size = new_size
-                    self.statistics.compactions += 1
-                    self.statistics.bytes_reclaimed += len(data) - new_size
-                sealed = [
-                    entry
-                    for entry in self._manifest.segments[:-1]
-                    if entry.sealed
-                ]
-                self._manifest.compacted_through_lsn = min(
-                    (entry.compacted_at_lsn for entry in sealed),
-                    default=checkpoint_lsn,
-                )
-                self._manifest.save(self.directory, fsync=self.config.fsync)
-            if not kept or new_name is not None:
-                os.remove(old_path)
-            return True
+                self._synthesis_due = False
+            return False
+        deltas = [
+            r
+            for r in lineage[1:]
+            if r.record_type is LogRecordType.CHECKPOINT_DELTA
+            and r.lsn <= cutoff
+        ]
+        if not deltas:
+            with self._lock:
+                self._synthesis_due = False
+            return False
+        started = time.perf_counter()
+        snapshot = self._fold_lineage(lineage[0], deltas)
+        base = LogRecord(
+            lsn=deltas[-1].lsn,
+            record_type=LogRecordType.CHECKPOINT_BASE,
+            transaction_id=0,
+            snapshot=snapshot,
+        )
+        frame = encode_frame(base.to_json().encode("utf-8"))
+        with self._lock:
+            if self._closed:
+                return False
+            index = self._manifest.next_segment_index
+            self._manifest.next_segment_index += 1
+        name = segment_file_name(index)
+        path = self._path(name)
+        with open(path, "wb") as handle:
+            handle.write(frame)
+            handle.flush()
+            if self.config.fsync:
+                os.fsync(handle.fileno())
+        with self._lock:
+            if (
+                self._closed
+                or not self._records
+                or self._lineage_length < 1
+                or self._records[0].lsn != lineage[0].lsn
+            ):
+                # The lineage was replaced under us (truncate() or an
+                # explicit writer-side base); the freshly written file was
+                # never referenced by the manifest — drop it.
+                os.remove(path)
+                self._synthesis_due = False
+                return False
+            entry = LogSegment(
+                index=index,
+                name=name,
+                sealed=True,
+                records=1,
+                size=len(frame),
+                compacted_at_lsn=checkpoint_lsn,
+            )
+            self._manifest.segments.insert(0, entry)
+            self._manifest.base_lsn = base.lsn
+            remaining = [
+                r
+                for r in self._records[1 : self._lineage_length]
+                if r.lsn > base.lsn
+            ]
+            live_tail = self._records[self._lineage_length :]
+            self._records = [base] + remaining + live_tail
+            self._lineage_length = 1 + len(remaining)
+            self._deltas_since_base = len(remaining)
+            self._synthesis_due = False
+            self._manifest.save(self.directory, fsync=self.config.fsync)
+            self.statistics.bases_synthesized += 1
+            self.statistics.base_synthesis_ms = max(
+                self.statistics.base_synthesis_ms,
+                (time.perf_counter() - started) * 1000.0,
+            )
+        self._trigger_compaction()
+        return True
 
     def compact_now(self) -> int:
         """Synchronously compact until no sealed segment is eligible."""
@@ -719,19 +1204,37 @@ class SegmentedWriteAheadLog(WriteAheadLog):
                 "base_pause_ms": stats.base_pause_ms,
                 "delta_pause_ms": stats.delta_pause_ms,
                 "torn_tail_truncations": stats.torn_tail_truncations,
+                "sync_windows": stats.sync_windows,
+                "bases_synthesized": stats.bases_synthesized,
+                "base_synthesis_ms": stats.base_synthesis_ms,
+                "compaction_errors": stats.compaction_errors,
+                "last_compaction_error": stats.last_compaction_error,
+                "segments_quarantined": len(self._compaction_quarantine),
                 "checkpoint_lsn": self._manifest.checkpoint_lsn,
                 "compacted_through_lsn": self._manifest.compacted_through_lsn,
             }
 
     def close(self) -> None:
-        """Stop the compactor, flush and close the tail (idempotent)."""
+        """Stop the compactor, sync and close the tail (idempotent).
+
+        With a group-fsync window the close is itself a durability point:
+        one final sync covers every commit still waiting on its window
+        before the tail file closes and the timer thread stops.
+        """
         self.stop_compactor()
+        window = self._sync_window
         with self._lock:
             if self._closed:
                 return
             self._closed = True
+            if window is not None:
+                self._tail.sync()
+                self.statistics.fsyncs += 1
+                window.complete_all()
             tail = self._manifest.tail
             tail.records = self._tail.records
             tail.size = self._tail.size
             self._tail.close()
             self._manifest.save(self.directory, fsync=self.config.fsync)
+        if window is not None:
+            window.stop()

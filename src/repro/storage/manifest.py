@@ -13,6 +13,12 @@ Segment *files* not named by the manifest are orphans — a compactor
 killed between writing its rewritten file and the manifest swap (the new
 file is the orphan), or killed between the swap and deleting the old
 file (the old file is the orphan).  The engine deletes them at open.
+A base synthesized off the writer (``incremental_bases``) follows the
+same discipline: its single-record segment is written first and spliced
+into the *front* of the chain by one manifest save — a crash before that
+save leaves the file as a cleanable orphan and the old lineage
+authoritative.  The chain is therefore ordered for replay (synthesized
+bases first), not strictly by segment index.
 """
 
 from __future__ import annotations

@@ -6,7 +6,10 @@ Replay order (the manifest drives all of it):
    a leftover ``MANIFEST.tmp`` from an interrupted update is discarded,
    orphan segment files from an interrupted compaction are removed.
 2. **Base** — the newest surviving ``CHECKPOINT_BASE`` (or legacy
-   ``CHECKPOINT``) snapshot is restored.
+   ``CHECKPOINT``) snapshot is restored.  A base synthesized off the
+   writer (``incremental_bases``) reuses the LSN of the newest delta it
+   folded, so until compaction drops that delta's old record both can
+   coexist on disk — the superseded delta is filtered out here.
 3. **Delta chain** — every ``CHECKPOINT_DELTA`` after that base is
    applied in LSN order (per table: deletes, then inserts).
 4. **Unsealed tail** — committed raw records past the newest checkpoint

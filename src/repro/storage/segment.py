@@ -166,6 +166,11 @@ class SegmentWriter:
         self._file = open(self.path, "ab")
         self.size = self._file.tell()
         self.records = 0  # caller seeds this from its recovery scan
+        #: Byte offset covered by the last ``os.fsync`` — bytes past this
+        #: watermark are flushed to the OS at best and may be lost in a
+        #: machine crash (group-fsync windows rely on exactly that being
+        #: the only exposure).
+        self.synced_size = self.size
 
     def append(self, payload: bytes) -> None:
         frame = encode_frame(payload)
@@ -177,8 +182,21 @@ class SegmentWriter:
         self._file.flush()
         if self.fsync:
             os.fsync(self._file.fileno())
+            self.synced_size = self.size
+
+    def sync(self) -> None:
+        """Flush and ``os.fsync`` unconditionally (group-window syncs)."""
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self.synced_size = self.size
 
     def close(self) -> None:
         if not self._file.closed:
             self._file.flush()
+            if self.fsync:
+                # flush() alone leaves the final records in the page cache;
+                # a close must honor the same durability promise as every
+                # flush before it.
+                os.fsync(self._file.fileno())
+                self.synced_size = self.size
             self._file.close()

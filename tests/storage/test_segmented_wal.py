@@ -345,3 +345,62 @@ class TestStatisticsReport:
         database.insert("Seats", (1, "a"))
         assert engine.statistics.fsyncs >= 1
         engine.close()
+
+
+def corrupt_first_sealed_segment(tmp_path, engine) -> str:
+    """Flip a payload byte in the oldest sealed segment; returns its name."""
+    entry = engine._manifest.segments[0]
+    assert entry.sealed
+    path = tmp_path / "segments" / entry.name
+    data = bytearray(path.read_bytes())
+    data[len(data) // 2] ^= 0xFF
+    path.write_bytes(bytes(data))
+    return entry.name
+
+
+class TestCompactionQuarantine:
+    """A corrupt sealed segment must not pin compaction in a retry loop."""
+
+    def test_failing_segment_is_quarantined_after_bounded_attempts(
+        self, tmp_path
+    ):
+        from repro.storage.engine import _COMPACTION_ATTEMPT_LIMIT
+
+        database, engine = make_engine(tmp_path, segment_max_records=6)
+        for i in range(30):
+            database.insert("Seats", (i, f"s{i}"))
+        database.checkpoint()  # every sealed raw segment becomes eligible
+        bad_name = corrupt_first_sealed_segment(tmp_path, engine)
+        for _ in range(_COMPACTION_ATTEMPT_LIMIT):
+            with pytest.raises(RecoveryError):
+                engine.compact_now()
+        # Quarantined: the damaged segment is out of the candidate set and
+        # the rest of the chain still compacts.
+        assert engine.compact_now() > 0
+        stats = engine.durability_statistics()
+        assert stats["compaction_errors"] == _COMPACTION_ATTEMPT_LIMIT
+        assert stats["segments_quarantined"] == 1
+        assert bad_name in stats["last_compaction_error"]
+        assert stats["bytes_reclaimed"] > 0
+        engine.close()
+
+    def test_background_compactor_stops_retrying(self, tmp_path):
+        import time
+
+        from repro.storage.engine import _COMPACTION_ATTEMPT_LIMIT
+
+        database, engine = make_engine(tmp_path, segment_max_records=6)
+        for i in range(30):
+            database.insert("Seats", (i, f"s{i}"))
+        database.checkpoint()
+        corrupt_first_sealed_segment(tmp_path, engine)
+        compactor = engine.start_compactor()
+        deadline = time.monotonic() + 5.0
+        while engine.statistics.compaction_errors < _COMPACTION_ATTEMPT_LIMIT:
+            assert time.monotonic() < deadline, "quarantine never happened"
+            time.sleep(0.01)
+        time.sleep(0.2)  # several wake-ups worth of would-be retries
+        assert engine.statistics.compaction_errors == _COMPACTION_ATTEMPT_LIMIT
+        assert compactor.last_error is not None
+        engine.stop_compactor()
+        engine.close()

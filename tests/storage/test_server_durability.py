@@ -137,6 +137,43 @@ class TestSegmentedServer:
         assert recovered.pending_count == qdb.pending_count
         recovered.database.wal.close()
 
+    def test_fsync_window_batches_drained_commits(self, tmp_path):
+        async def scenario():
+            qdb = make_qdb()
+            config = ServerConfig(
+                durability=segmented_config(
+                    tmp_path,
+                    fsync=True,
+                    fsync_window_s=0.01,
+                    segment_max_records=10_000,
+                )
+            )
+            async with QuantumServer(qdb, config) as server:
+
+                async def client(name: str, count: int) -> None:
+                    async with server.session(client=name) as session:
+                        for index in range(count):
+                            await session.commit(
+                                booking(f"{name}-{index}", 100 + index % 2)
+                            )
+
+                await asyncio.gather(*(client(f"c{i}", 3) for i in range(4)))
+                # Report taken before shutdown: its checkpoint and final
+                # sweep add their own (eager) syncs.
+                return qdb, server.statistics_report()
+
+        qdb, report = asyncio.run(scenario())
+        commits = 12
+        # Concurrent sessions stack into shared drain runs and shared sync
+        # windows: acknowledged commits cost well under one fsync each.
+        assert report["durability.fsyncs"] < commits
+        assert report["durability.sync_windows"] >= 1
+        engine = qdb.database.wal
+        engine.close()
+        recovered = recover(tmp_path / "segments", flight_schema)
+        assert recovered.snapshot() == qdb.database.snapshot()
+        recovered.wal.close()
+
     def test_second_server_refuses_used_directory(self, tmp_path):
         async def scenario():
             config = ServerConfig(durability=segmented_config(tmp_path))
